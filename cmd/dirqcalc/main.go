@@ -1,0 +1,67 @@
+// Command dirqcalc evaluates the paper's §5 analytical cost model for a
+// k-ary tree: flooding cost, worst-case directed dissemination cost,
+// worst-case update cost, and the break-even update frequency fMax.
+//
+// Usage:
+//
+//	dirqcalc -k 2 -d 4
+//	dirqcalc -k 8 -d 3 -f 0.5   # also evaluate CTDmax at f updates/query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/analytic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dirqcalc: ")
+
+	k := flag.Int("k", 2, "tree fan-out")
+	d := flag.Int("d", 4, "tree depth")
+	f := flag.Float64("f", -1, "optional update frequency (updates per query) for CTDmax")
+	flag.Parse()
+
+	n, err := analytic.TreeSize(*k, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cf, err := analytic.CFTotal(*k, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cqd, err := analytic.CQDMax(*k, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cud, err := analytic.CUDMax(*k, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmax, err := analytic.FMax(*k, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("k-ary tree: k=%d, d=%d\n", *k, *d)
+	fmt.Printf("N (nodes):            %d\n", n)
+	fmt.Printf("CFTotal   (eq. 4):    %d\n", cf)
+	fmt.Printf("CQDmax    (eq. 5):    %d\n", cqd)
+	fmt.Printf("CUDmax    (eq. 6):    %d\n", cud)
+	fmt.Printf("fMax      (eq. 8):    %.4f updates/query\n", fmax)
+	fmt.Printf("CQD/CF ratio:         %.3f\n", float64(cqd)/float64(cf))
+	if *f >= 0 {
+		ctd, err := analytic.CTDMax(*k, *d, *f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "cheaper than flooding"
+		if ctd > float64(cf) {
+			verdict = "MORE EXPENSIVE than flooding"
+		}
+		fmt.Printf("CTDmax at f=%.3f:     %.1f (%s)\n", *f, ctd, verdict)
+	}
+}

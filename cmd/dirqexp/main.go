@@ -1,0 +1,60 @@
+// Command dirqexp regenerates the paper's evaluation artefacts: Fig. 5(a),
+// Fig. 5(b), Fig. 6, Fig. 7, the §5 analytical table, and the headline
+// cost/overshoot summary.
+//
+// Usage:
+//
+//	dirqexp -exp all                 # every artefact at paper scale
+//	dirqexp -exp fig6,fig7 -quick    # selected artefacts, reduced scale
+//	dirqexp -exp headline -csv       # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	dirq "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dirqexp: ")
+
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+
+		strings.Join(dirq.ExperimentIDs(), ", ")+")")
+	quick := flag.Bool("quick", false, "reduced scale (2 000 epochs instead of 20 000)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	opts := dirq.FullScale()
+	if *quick {
+		opts = dirq.QuickScale()
+	}
+	opts.Seed = *seed
+
+	ids := dirq.ExperimentIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		tb, err := dirq.Experiment(id, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var werr error
+		if *csv {
+			fmt.Printf("# %s\n", tb.Title)
+			werr = tb.CSV(os.Stdout)
+		} else {
+			werr = tb.Render(os.Stdout)
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command dirqsim runs a single DirQ simulation scenario and prints a
+// summary: accuracy, update traffic, and cost relative to flooding.
+//
+// Usage:
+//
+//	dirqsim [-nodes 50] [-epochs 20000] [-coverage 0.4] [-mode fixed|atc]
+//	        [-delta 5] [-rho 0.4] [-seed 1] [-hetero] [-loss 0] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	dirq "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dirqsim: ")
+
+	cfg := dirq.DefaultScenario()
+	nodes := flag.Int("nodes", cfg.NumNodes, "network size including the root")
+	epochs := flag.Int64("epochs", cfg.Epochs, "simulation length in epochs")
+	coverage := flag.Float64("coverage", cfg.Coverage, "target fraction of nodes involved per query")
+	mode := flag.String("mode", "fixed", "threshold mode: fixed or atc")
+	delta := flag.Float64("delta", cfg.FixedPct, "fixed threshold in percent of sensor span")
+	rho := flag.Float64("rho", cfg.Rho, "ATC update-budget fraction of the flooding headroom")
+	seed := flag.Uint64("seed", cfg.Seed, "random seed")
+	hetero := flag.Bool("hetero", false, "heterogeneous sensor complements")
+	loss := flag.Float64("loss", 0, "packet loss probability")
+	interval := flag.Int64("interval", cfg.QueryInterval, "epochs between queries")
+	verbose := flag.Bool("v", false, "print per-bucket update counts")
+	traceN := flag.Int("trace", 0, "print the last N protocol events")
+	flag.Parse()
+
+	cfg.NumNodes = *nodes
+	cfg.Epochs = *epochs
+	cfg.Coverage = *coverage
+	cfg.FixedPct = *delta
+	cfg.Rho = *rho
+	cfg.Seed = *seed
+	cfg.Heterogeneous = *hetero
+	cfg.PacketLoss = *loss
+	cfg.QueryInterval = *interval
+	switch *mode {
+	case "fixed":
+		cfg.Mode = dirq.FixedDelta
+	case "atc":
+		cfg.Mode = dirq.ATC
+	default:
+		log.Fatalf("unknown -mode %q (want fixed or atc)", *mode)
+	}
+
+	if *traceN > 0 {
+		cfg.TraceCapacity = *traceN
+	}
+	runner, err := dirq.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := runner.Run()
+
+	fmt.Printf("DirQ simulation: %d nodes, %d epochs, coverage %.0f%%, mode %s",
+		cfg.NumNodes, cfg.Epochs, cfg.Coverage*100, cfg.Mode)
+	if cfg.Mode == dirq.FixedDelta {
+		fmt.Printf(" (delta %.1f%%)", cfg.FixedPct)
+	}
+	fmt.Println()
+	fmt.Printf("tree: depth %d, %d internal nodes\n", res.TreeDepth, res.TreeInternal)
+	fmt.Printf("queries injected:        %d\n", res.QueriesInjected)
+	fmt.Printf("should receive (mean):   %.1f%% of nodes\n", res.Summary.PctShould)
+	fmt.Printf("did receive (mean):      %.1f%% of nodes\n", res.Summary.PctReceived)
+	fmt.Printf("sources (mean):          %.1f%% of nodes\n", res.Summary.PctSources)
+	fmt.Printf("overshoot (mean):        %.2f%% of nodes\n", res.Summary.MeanOvershoot)
+	fmt.Printf("query cost:              %d units\n", res.QueryCost.Total())
+	fmt.Printf("update cost:             %d units (%d messages)\n", res.UpdateCost.Total(), res.UpdateCost.Tx)
+	fmt.Printf("estimate cost:           %d units\n", res.EstimateCost.Total())
+	fmt.Printf("flooding baseline:       %d units\n", res.FloodCost)
+	fmt.Printf("cost vs flooding:        %.1f%%  (paper: 45%%-55%% with ATC)\n", res.CostFraction*100)
+	fmt.Printf("Umax/Hr reference:       %.0f update msgs\n", res.UmaxPerHour)
+
+	if *verbose {
+		fmt.Println("\nupdate messages per bucket:")
+		for i, v := range res.UpdateTxPerBucket {
+			fmt.Printf("  epoch %6d: %.0f\n", (int64(i)+1)*cfg.BucketEpochs, v)
+		}
+	}
+	if *traceN > 0 && runner.Trace != nil {
+		fmt.Printf("\nlast %d protocol events (%d total recorded):\n",
+			*traceN, runner.Trace.Total())
+		if err := runner.Trace.Dump(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,112 @@
+// Package dirq is a Go reproduction of "An Adaptive Directed Query
+// Dissemination Scheme for Wireless Sensor Networks" (Chatterjea, De Luigi,
+// Havinga — ICPP Workshops 2006).
+//
+// DirQ routes one-shot range queries over a spanning tree of a wireless
+// sensor network, delivering each query only to the nodes whose (locally
+// maintained, hysteresis-filtered) sensor ranges can satisfy it, instead of
+// flooding. An Adaptive Threshold Control keeps the combined cost of query
+// dissemination and range-update traffic at 45–55 % of the cost of
+// flooding while retaining high delivery accuracy.
+//
+// The package is a facade over the full simulation stack:
+//
+//   - Scenario / Run: build and execute a complete simulation — topology
+//     placement, TDMA MAC (an LMAC reproduction), synthetic
+//     spatio-temporally correlated sensor data, the DirQ protocol with
+//     fixed or adaptive thresholds, a coverage-targeted query workload, and
+//     flooding-baseline accounting.
+//   - Experiment / AllExperiments: regenerate the paper's figures and the
+//     §5 analytical table.
+//   - The analytic cost-model functions CFTotal, CQDMax, CUDMax, FMax.
+//
+// Quickstart:
+//
+//	cfg := dirq.DefaultScenario()
+//	cfg.Mode = dirq.ATC
+//	res, err := dirq.Run(cfg)
+//	// res.CostFraction ≈ 0.45–0.55, res.Summary.MeanOvershoot small.
+package dirq
+
+import (
+	"io"
+
+	"repro/internal/analytic"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// Scenario fully parameterizes one simulation run. See the field docs on
+// the underlying type for every knob.
+type Scenario = scenario.Config
+
+// Result carries the measurements of one run: per-query accuracy, update
+// traffic per 100-epoch bucket, costs, and the cost fraction vs flooding.
+type Result = scenario.Result
+
+// Runner is a built-but-not-yet-run simulation, exposing the internal
+// components (tree, MAC, data generator, protocol) for advanced use.
+type Runner = scenario.Runner
+
+// ThresholdMode selects fixed-δ or adaptive threshold control.
+type ThresholdMode = scenario.ThresholdMode
+
+// Threshold modes.
+const (
+	// FixedDelta uses Scenario.FixedPct on every node.
+	FixedDelta = scenario.FixedDelta
+	// ATC enables the paper's §6 Adaptive Threshold Control.
+	ATC = scenario.ATC
+)
+
+// DefaultScenario returns the paper's §7 setup: 50 nodes, fan-out cap 8,
+// depth cap 10, 20 000 epochs, one query every 20 epochs, fixed δ = 5 %.
+func DefaultScenario() Scenario { return scenario.Default() }
+
+// Run builds and executes a scenario.
+func Run(cfg Scenario) (*Result, error) { return scenario.Run(cfg) }
+
+// Build constructs a simulation without running it, for callers that want
+// to inspect or perturb the network mid-run (see examples/topologychange).
+func Build(cfg Scenario) (*Runner, error) { return scenario.Build(cfg) }
+
+// ExperimentOptions scales experiment runs.
+type ExperimentOptions = experiments.Options
+
+// FullScale returns the paper-scale experiment options (20 000 epochs).
+func FullScale() ExperimentOptions { return experiments.Full() }
+
+// QuickScale returns reduced-scale options for smoke runs.
+func QuickScale() ExperimentOptions { return experiments.Quick() }
+
+// ExperimentIDs lists the reproducible artefacts: fig5a, fig5b, fig6,
+// fig7, analytic, headline.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = experiments.Table
+
+// Experiment regenerates one paper artefact by id.
+func Experiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	return experiments.Run(id, o)
+}
+
+// AllExperiments regenerates every artefact, rendering each to w.
+func AllExperiments(o ExperimentOptions, w io.Writer) error {
+	return experiments.RunAll(o, w)
+}
+
+// CFTotal returns the §5.1 flooding cost of one query on a perfect k-ary
+// tree of depth d (equation (4)).
+func CFTotal(k, d int) (int64, error) { return analytic.CFTotal(k, d) }
+
+// CQDMax returns the §5.2 worst-case directed dissemination cost
+// (equation (5)).
+func CQDMax(k, d int) (int64, error) { return analytic.CQDMax(k, d) }
+
+// CUDMax returns the §5.2 worst-case update-wave cost (equation (6)).
+func CUDMax(k, d int) (int64, error) { return analytic.CUDMax(k, d) }
+
+// FMax returns the §5.3 maximum updates-per-query frequency at which DirQ
+// still beats flooding (equation (8)); k=2, d=4 gives the paper's 0.76.
+func FMax(k, d int) (float64, error) { return analytic.FMax(k, d) }

@@ -1,0 +1,91 @@
+package dirq
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickRun(t *testing.T) {
+	cfg := DefaultScenario()
+	cfg.NumNodes = 20
+	cfg.Epochs = 600
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesInjected == 0 {
+		t.Fatal("no queries")
+	}
+	if res.CostFraction <= 0 || res.CostFraction >= 1 {
+		t.Fatalf("cost fraction %v", res.CostFraction)
+	}
+}
+
+func TestFacadeATCMode(t *testing.T) {
+	cfg := DefaultScenario()
+	cfg.NumNodes = 20
+	cfg.Epochs = 800
+	cfg.Mode = ATC
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpdateCost.Tx == 0 {
+		t.Fatal("ATC run produced no updates")
+	}
+}
+
+func TestFacadeBuild(t *testing.T) {
+	cfg := DefaultScenario()
+	cfg.NumNodes = 15
+	cfg.Epochs = 300
+	r, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tree.Len() != 15 {
+		t.Fatalf("tree size %d", r.Tree.Len())
+	}
+	res := r.Run()
+	if res.QueriesInjected == 0 {
+		t.Fatal("built runner produced nothing")
+	}
+}
+
+func TestFacadeAnalytic(t *testing.T) {
+	cf, err := CFTotal(2, 4)
+	if err != nil || cf != 91 {
+		t.Fatalf("CFTotal(2,4) = %d, %v", cf, err)
+	}
+	cqd, err := CQDMax(2, 4)
+	if err != nil || cqd != 45 {
+		t.Fatalf("CQDMax(2,4) = %d, %v", cqd, err)
+	}
+	cud, err := CUDMax(2, 4)
+	if err != nil || cud != 60 {
+		t.Fatalf("CUDMax(2,4) = %d, %v", cud, err)
+	}
+	fmax, err := FMax(2, 4)
+	if err != nil || math.Abs(fmax-46.0/60.0) > 1e-12 {
+		t.Fatalf("FMax(2,4) = %v, %v", fmax, err)
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	tb, err := Experiment("analytic", QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fMax") {
+		t.Fatalf("rendered table missing fMax: %s", buf.String())
+	}
+	if len(ExperimentIDs()) != 9 {
+		t.Fatalf("ExperimentIDs = %v", ExperimentIDs())
+	}
+}

@@ -1,0 +1,80 @@
+// Adaptivethreshold shows §6 from a single node's point of view: how the
+// Adaptive Threshold Control moves a node's δ as the hourly query-load
+// estimate (EHr) and the local data volatility change, trading update
+// traffic against range accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atc"
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const epochsPerHour = 100
+	ctrl, err := atc.NewController(atc.DefaultConfig(epochsPerHour))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Network constants the root uses for budgeting (50 nodes, 13
+	// internal, a typical unit-disk link count).
+	params := atc.NetworkParams{N: 50, Internal: 13, Links: 160}
+	fmt.Println("Single-node ATC walk-through")
+	fmt.Println("============================")
+	fmt.Printf("deployment: N=%d, fMax=%.2f updates/query, Umax/Hr at 5 q/hr = %.0f msgs\n\n",
+		params.N, params.FMax(), params.UmaxPerHour(5))
+
+	fmt.Printf("%-6s %-10s %-12s %-12s %-10s\n",
+		"hour", "EHr(q/hr)", "volatility", "budget/node", "delta(%)")
+
+	type phase struct {
+		hours int
+		eHr   int
+		vol   float64 // span-fraction per epoch
+		note  string
+	}
+	phases := []phase{
+		{6, 5, 0.0004, "baseline: moderate load, calm data"},
+		{6, 40, 0.0004, "query storm: more budget, delta narrows"},
+		{6, 40, 0.004, "storm + volatile data: delta widens to hold budget"},
+		{6, 2, 0.004, "load drops: tiny budget, delta widens further"},
+		{6, 5, 0.0004, "back to baseline"},
+	}
+
+	hour := 0
+	seq := int64(0)
+	for _, ph := range phases {
+		fmt.Printf("--- %s\n", ph.note)
+		for i := 0; i < ph.hours; i++ {
+			// One hour of epochs: the node observes its volatility and
+			// sends however many updates its current delta implies
+			// (level-crossing approximation).
+			ctrl.OnEpoch(ph.vol)
+			widthFrac := ctrl.DeltaPct() / 100
+			sends := int(ph.vol*epochsPerHour/widthFrac + 0.5)
+			for s := 0; s < sends; s++ {
+				ctrl.OnUpdateSent()
+			}
+			seq++
+			budget := params.BudgetPerNode(ph.eHr, 0.4)
+			ctrl.OnEstimate(core.EstimateMsg{
+				Seq: seq, QueriesPerHr: ph.eHr, BudgetPerNode: budget,
+			})
+			hour++
+			if i == ph.hours-1 {
+				fmt.Printf("%-6d %-10d %-12.4f %-12.2f %-10.2f\n",
+					hour, ph.eHr, ph.vol, budget, ctrl.DeltaPct())
+			}
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("delta narrows when query demand is high and data is calm (accuracy is")
+	fmt.Println("cheap), and widens when demand falls or the signal churns (updates")
+	fmt.Println("would be wasted) — exactly the §6 trade-off.")
+}

@@ -1,0 +1,170 @@
+// Package analytic implements the paper's §5 closed-form cost model of
+// flooding versus directed query dissemination on a perfect k-ary tree of
+// depth d, with unit transmission and reception costs.
+//
+// Derivations (N = number of nodes, L = N-1 tree links):
+//
+//   - Flooding (§5.1): every node broadcasts the query exactly once
+//     (tx cost N) and every link delivers it in both directions
+//     (rx cost 2L), so CFTotal = N + 2(N-1) = 3N - 2, i.e. eq. (4)
+//     CFTotal = (3k^(d+1) - 2k - 1) / (k - 1).
+//
+//   - Worst-case directed dissemination (§5.2): every leaf is relevant.
+//     Leaf nodes do not transmit, so the (k^d - 1)/(k - 1) internal nodes
+//     broadcast once each, and every non-root node receives once, giving
+//     eq. (5) CQDmax = (k^(d+1) + k^d - k - 1) / (k - 1).
+//
+//   - Worst-case update cost (§5.2): every non-root node unicasts one
+//     Update Message to its parent (1 tx + 1 rx per link), giving eq. (6)
+//     CUDmax = 2(k^(d+1) - k) / (k - 1).
+//
+//   - fMax (§5.3, eq. (8)): the largest update-per-query frequency f for
+//     which CQDmax + f·CUDmax <= CFTotal:
+//     fMax = (2k^(d+1) - k^d - k) / (2(k^(d+1) - k)).
+//     For k=2, d=4 this is 46/60 ≈ 0.766, the paper's "fMax < 0.76" example.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// validate rejects parameter combinations outside the model's domain.
+// k == 1 is excluded because the closed forms divide by k-1; use the
+// generic Cost*Tree helpers for degenerate chains.
+func validate(k, d int) error {
+	if k < 2 {
+		return fmt.Errorf("analytic: fan-out k=%d, need k >= 2", k)
+	}
+	if d < 1 {
+		return fmt.Errorf("analytic: depth d=%d, need d >= 1", d)
+	}
+	if float64(d+1)*math.Log(float64(k)) > 62*math.Ln2 {
+		return fmt.Errorf("analytic: k=%d d=%d overflows int64", k, d)
+	}
+	return nil
+}
+
+// pow returns k^e for small non-negative e.
+func pow(k, e int) int64 {
+	p := int64(1)
+	for i := 0; i < e; i++ {
+		p *= int64(k)
+	}
+	return p
+}
+
+// TreeSize returns N = (k^(d+1) - 1)/(k - 1), the node count of a perfect
+// k-ary tree of depth d.
+func TreeSize(k, d int) (int64, error) {
+	if err := validate(k, d); err != nil {
+		return 0, err
+	}
+	return (pow(k, d+1) - 1) / int64(k-1), nil
+}
+
+// CFTotal returns the cost of flooding one query: eq. (4),
+// (3k^(d+1) - 2k - 1)/(k - 1) = 3N - 2.
+func CFTotal(k, d int) (int64, error) {
+	if err := validate(k, d); err != nil {
+		return 0, err
+	}
+	return (3*pow(k, d+1) - int64(2*k) - 1) / int64(k-1), nil
+}
+
+// CQDMax returns the worst-case cost of disseminating one directed query
+// (all leaves relevant): eq. (5), (k^(d+1) + k^d - k - 1)/(k - 1).
+func CQDMax(k, d int) (int64, error) {
+	if err := validate(k, d); err != nil {
+		return 0, err
+	}
+	return (pow(k, d+1) + pow(k, d) - int64(k) - 1) / int64(k-1), nil
+}
+
+// CUDMax returns the worst-case cost of one network-wide update wave (every
+// non-root node sends one Update Message to its parent): eq. (6),
+// 2(k^(d+1) - k)/(k - 1).
+func CUDMax(k, d int) (int64, error) {
+	if err := validate(k, d); err != nil {
+		return 0, err
+	}
+	return 2 * (pow(k, d+1) - int64(k)) / int64(k-1), nil
+}
+
+// CTDMax returns the worst-case total DirQ cost per query for an update
+// frequency f (updates per query): eq. (7), CQDmax + f·CUDmax.
+func CTDMax(k, d int, f float64) (float64, error) {
+	cqd, err := CQDMax(k, d)
+	if err != nil {
+		return 0, err
+	}
+	cud, err := CUDMax(k, d)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cqd) + f*float64(cud), nil
+}
+
+// FMax returns the maximum updates-per-query frequency for which DirQ's
+// worst case stays below flooding: eq. (8),
+// (CFTotal - CQDmax) / CUDmax = (2k^(d+1) - k^d - k) / (2(k^(d+1) - k)).
+func FMax(k, d int) (float64, error) {
+	if err := validate(k, d); err != nil {
+		return 0, err
+	}
+	num := 2*pow(k, d+1) - pow(k, d) - int64(k)
+	den := 2 * (pow(k, d+1) - int64(k))
+	return float64(num) / float64(den), nil
+}
+
+// Row is one line of the §5 cost table for a (k, d) pair.
+type Row struct {
+	K, D  int
+	N     int64   // tree size
+	CF    int64   // flooding cost, eq. (4)
+	CQD   int64   // worst-case directed dissemination cost, eq. (5)
+	CUD   int64   // worst-case update-wave cost, eq. (6)
+	FMax  float64 // eq. (8)
+	Ratio float64 // CQD / CF: directed dissemination alone vs flooding
+}
+
+// Table computes rows for every (k, d) combination given.
+func Table(ks, ds []int) ([]Row, error) {
+	var rows []Row
+	for _, k := range ks {
+		for _, d := range ds {
+			n, err := TreeSize(k, d)
+			if err != nil {
+				return nil, err
+			}
+			cf, err := CFTotal(k, d)
+			if err != nil {
+				return nil, err
+			}
+			cqd, err := CQDMax(k, d)
+			if err != nil {
+				return nil, err
+			}
+			cud, err := CUDMax(k, d)
+			if err != nil {
+				return nil, err
+			}
+			fmax, err := FMax(k, d)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				K: k, D: d, N: n, CF: cf, CQD: cqd, CUD: cud,
+				FMax: fmax, Ratio: float64(cqd) / float64(cf),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// CostFloodTree returns the flooding cost N + 2·links for an arbitrary tree
+// topology (eq. (3)); works for any connected graph given its node and link
+// counts.
+func CostFloodTree(nodes, links int64) int64 {
+	return nodes + 2*links
+}

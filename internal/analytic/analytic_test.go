@@ -1,0 +1,186 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeSize(t *testing.T) {
+	cases := []struct {
+		k, d int
+		want int64
+	}{
+		{2, 1, 3},
+		{2, 4, 31},
+		{3, 2, 13},
+		{8, 2, 73},
+		{8, 3, 585},
+	}
+	for _, c := range cases {
+		got, err := TreeSize(c.k, c.d)
+		if err != nil {
+			t.Fatalf("TreeSize(%d,%d): %v", c.k, c.d, err)
+		}
+		if got != c.want {
+			t.Fatalf("TreeSize(%d,%d) = %d, want %d", c.k, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCFTotalMatches3NMinus2(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		for d := 1; d <= 5; d++ {
+			n, err := TreeSize(k, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cf, err := CFTotal(k, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cf != 3*n-2 {
+				t.Fatalf("CFTotal(%d,%d) = %d, want 3N-2 = %d", k, d, cf, 3*n-2)
+			}
+		}
+	}
+}
+
+func TestPaperWorkedExampleK2D4(t *testing.T) {
+	// §5.3: "if k = 2 and d = 4, then fMax < 0.76".
+	cf, err := CFTotal(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf != 91 {
+		t.Fatalf("CFTotal(2,4) = %d, want 91", cf)
+	}
+	cqd, err := CQDMax(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqd != 45 {
+		t.Fatalf("CQDMax(2,4) = %d, want 45", cqd)
+	}
+	cud, err := CUDMax(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cud != 60 {
+		t.Fatalf("CUDMax(2,4) = %d, want 60", cud)
+	}
+	fmax, err := FMax(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fmax-46.0/60.0) > 1e-12 {
+		t.Fatalf("FMax(2,4) = %v, want 46/60", fmax)
+	}
+	if !(fmax > 0.76 && fmax < 0.77) {
+		t.Fatalf("FMax(2,4) = %v, paper says ≈0.76", fmax)
+	}
+}
+
+func TestFMaxConsistentWithDefinition(t *testing.T) {
+	// fMax must satisfy CQD + fMax*CUD == CF exactly.
+	for k := 2; k <= 8; k++ {
+		for d := 1; d <= 4; d++ {
+			cf, _ := CFTotal(k, d)
+			cqd, _ := CQDMax(k, d)
+			cud, _ := CUDMax(k, d)
+			fmax, _ := FMax(k, d)
+			if math.Abs(float64(cqd)+fmax*float64(cud)-float64(cf)) > 1e-9 {
+				t.Fatalf("(k=%d,d=%d) CQD+fMax*CUD = %v != CF %d",
+					k, d, float64(cqd)+fmax*float64(cud), cf)
+			}
+		}
+	}
+}
+
+func TestCTDMax(t *testing.T) {
+	// At f = 0 the total equals CQDmax; at f = fMax it equals CFTotal.
+	ctd0, err := CTDMax(2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctd0 != 45 {
+		t.Fatalf("CTDMax(2,4,0) = %v, want 45", ctd0)
+	}
+	fmax, _ := FMax(2, 4)
+	ctdF, err := CTDMax(2, 4, fmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ctdF-91) > 1e-9 {
+		t.Fatalf("CTDMax(2,4,fMax) = %v, want 91", ctdF)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := TreeSize(1, 3); err == nil {
+		t.Fatal("k=1 accepted (closed form divides by k-1)")
+	}
+	if _, err := CFTotal(2, 0); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := FMax(0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := TreeSize(2, 100); err == nil {
+		t.Fatal("overflowing parameters accepted")
+	}
+}
+
+func TestCostFloodTree(t *testing.T) {
+	// A tree with N nodes has N-1 links: flooding costs 3N-2.
+	if got := CostFloodTree(31, 30); got != 91 {
+		t.Fatalf("CostFloodTree(31,30) = %d, want 91", got)
+	}
+	// Non-tree graph: extra links only add reception cost.
+	if got := CostFloodTree(4, 6); got != 16 {
+		t.Fatalf("CostFloodTree(4,6) = %d, want 16", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows, err := Table([]int{2, 3}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio <= 0 || r.Ratio >= 1 {
+			t.Fatalf("row %+v: CQD/CF ratio %v not in (0,1)", r, r.Ratio)
+		}
+		if r.FMax <= 0 {
+			t.Fatalf("row %+v: non-positive fMax", r)
+		}
+	}
+}
+
+func TestTablePropagatesErrors(t *testing.T) {
+	if _, err := Table([]int{1}, []int{2}); err == nil {
+		t.Fatal("invalid k in Table accepted")
+	}
+}
+
+// Property: directed dissemination (even worst-case) is always cheaper than
+// flooding, and fMax is always positive — the structural claim of §5.
+func TestPropertyDirectedBeatsFlooding(t *testing.T) {
+	f := func(kk, dd uint8) bool {
+		k := int(kk)%7 + 2 // 2..8
+		d := int(dd)%5 + 1 // 1..5
+		cf, err1 := CFTotal(k, d)
+		cqd, err2 := CQDMax(k, d)
+		fmax, err3 := FMax(k, d)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return cqd < cf && fmax > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+// Controller decides a node's threshold δ (as a percentage of the sensor
+// type's physical span). §6's Adaptive Threshold Control is one
+// implementation (package atc); FixedController reproduces the fixed-δ
+// configurations of §7.1.
+type Controller interface {
+	// DeltaPct returns the node's current threshold in percent of span.
+	DeltaPct() float64
+	// OnEstimate is invoked when an hourly EHr estimate reaches the node.
+	OnEstimate(e EstimateMsg)
+	// OnEpoch is invoked once per epoch with the node's current data
+	// volatility, normalized to the sensor span (mean absolute change per
+	// epoch as a fraction of span, averaged over mounted sensor types).
+	OnEpoch(normVolatility float64)
+	// OnUpdateSent is invoked whenever the node transmits one Update
+	// Message.
+	OnUpdateSent()
+}
+
+// FixedController keeps δ constant — the paper's δ = 3 %, 5 %, 9 % runs.
+type FixedController struct {
+	Pct float64
+}
+
+// DeltaPct returns the fixed threshold.
+func (f *FixedController) DeltaPct() float64 { return f.Pct }
+
+// OnEstimate is a no-op for a fixed threshold.
+func (f *FixedController) OnEstimate(EstimateMsg) {}
+
+// OnEpoch is a no-op for a fixed threshold.
+func (f *FixedController) OnEpoch(float64) {}
+
+// OnUpdateSent is a no-op for a fixed threshold.
+func (f *FixedController) OnUpdateSent() {}
+
+// UpdateFreezer is an optional Controller capability: while UpdatesFrozen
+// reports true the node suppresses all Update Messages, leaving ancestors
+// with whatever range information they last received. This models the
+// Semantic Routing Tree baseline of §2 — a distributed index built once
+// and never refreshed, "more suited for constant attributes such as
+// location", against which DirQ's update mechanism is the contribution.
+type UpdateFreezer interface {
+	UpdatesFrozen() bool
+}
+
+// FreezeController behaves like a FixedController for AfterEpochs epochs
+// (letting the index build), then freezes all update traffic.
+type FreezeController struct {
+	Pct         float64
+	AfterEpochs int
+	epochs      int
+}
+
+var _ Controller = (*FreezeController)(nil)
+var _ UpdateFreezer = (*FreezeController)(nil)
+
+// DeltaPct returns the fixed threshold.
+func (f *FreezeController) DeltaPct() float64 { return f.Pct }
+
+// OnEstimate is a no-op.
+func (f *FreezeController) OnEstimate(EstimateMsg) {}
+
+// OnEpoch advances the freeze clock.
+func (f *FreezeController) OnEpoch(float64) { f.epochs++ }
+
+// OnUpdateSent is a no-op.
+func (f *FreezeController) OnUpdateSent() {}
+
+// UpdatesFrozen reports whether the index-build phase has ended.
+func (f *FreezeController) UpdatesFrozen() bool { return f.epochs >= f.AfterEpochs }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sensordata"
+	"repro/internal/topology"
+)
+
+func TestFixedControllerNoOps(t *testing.T) {
+	c := &FixedController{Pct: 7}
+	c.OnEstimate(EstimateMsg{Seq: 1})
+	c.OnEpoch(0.5)
+	c.OnUpdateSent()
+	if c.DeltaPct() != 7 {
+		t.Fatalf("DeltaPct = %v", c.DeltaPct())
+	}
+}
+
+func TestFreezeController(t *testing.T) {
+	c := &FreezeController{Pct: 3, AfterEpochs: 5}
+	if c.DeltaPct() != 3 {
+		t.Fatalf("DeltaPct = %v", c.DeltaPct())
+	}
+	c.OnEstimate(EstimateMsg{})
+	c.OnUpdateSent()
+	for i := 0; i < 4; i++ {
+		c.OnEpoch(0)
+		if c.UpdatesFrozen() {
+			t.Fatalf("frozen too early at epoch %d", i)
+		}
+	}
+	c.OnEpoch(0)
+	if !c.UpdatesFrozen() {
+		t.Fatal("not frozen after AfterEpochs")
+	}
+}
+
+func TestFrozenNodeSuppressesUpdates(t *testing.T) {
+	tr := &fakeTransport{}
+	ctrl := &FreezeController{Pct: 3, AfterEpochs: 0} // frozen from the start
+	n := NewNode(5, tempOnly(), ctrl, tr, &fakeObserver{})
+	n.SetParent(2, true)
+	n.OnReading(sensordata.Temperature, 20)
+	n.OnReading(sensordata.Temperature, 35)
+	if len(tr.unicasts) != 0 {
+		t.Fatalf("frozen node transmitted %d updates", len(tr.unicasts))
+	}
+	// Local table still tracks readings (the node answers queries fresh).
+	own, ok := n.Table(sensordata.Temperature).Own()
+	if !ok || !own.Intersects(35, 35) {
+		t.Fatalf("frozen node's own tuple %+v stale", own)
+	}
+}
+
+func TestMessageStrings(t *testing.T) {
+	u := UpdateMsg{Type: sensordata.Humidity, Min: 1, Max: 2, Present: true}
+	if !strings.Contains(u.String(), "humidity") {
+		t.Fatalf("UpdateMsg.String() = %q", u.String())
+	}
+	w := UpdateMsg{Type: sensordata.Light, Present: false}
+	if !strings.Contains(w.String(), "withdrawn") {
+		t.Fatalf("withdrawal String() = %q", w.String())
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	n := NewNode(9, tempOnly(), &FixedController{Pct: 4}, &fakeTransport{}, &fakeObserver{})
+	if n.ID() != 9 {
+		t.Fatalf("ID = %d", n.ID())
+	}
+	if n.DeltaPct() != 4 {
+		t.Fatalf("DeltaPct = %v", n.DeltaPct())
+	}
+	if _, ok := n.Parent(); ok {
+		t.Fatal("fresh node has a parent")
+	}
+	n.SetParent(3, true)
+	if p, ok := n.Parent(); !ok || p != 3 {
+		t.Fatalf("Parent = %d,%v", p, ok)
+	}
+}
+
+func TestResetTreeLinks(t *testing.T) {
+	tr := &fakeTransport{}
+	n := NewNode(2, tempOnly(), &FixedController{Pct: 4}, tr, &fakeObserver{})
+	n.SetParent(0, true)
+	n.AddChild(5)
+	n.OnReading(sensordata.Temperature, 20)
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Min: 1, Max: 2, Present: true})
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Humidity, Min: 3, Max: 4, Present: true})
+
+	n.ResetTreeLinks()
+	if _, ok := n.Parent(); ok {
+		t.Fatal("parent survived reset")
+	}
+	if len(n.Children()) != 0 {
+		t.Fatal("children survived reset")
+	}
+	// Humidity table held only the child row: it must be gone entirely.
+	if n.Table(sensordata.Humidity) != nil {
+		t.Fatal("child-only table survived reset")
+	}
+	// Temperature table keeps the own tuple but no child rows.
+	rt := n.Table(sensordata.Temperature)
+	if rt == nil {
+		t.Fatal("own-tuple table destroyed by reset")
+	}
+	if len(rt.Children()) != 0 {
+		t.Fatal("child rows survived reset")
+	}
+	if _, ok := rt.Own(); !ok {
+		t.Fatal("own tuple lost in reset")
+	}
+	// After re-attachment, ResendAll re-reports from scratch.
+	n.SetParent(7, true)
+	n.ResendAll()
+	if len(tr.unicasts) == 0 {
+		t.Fatal("no re-report after reset+reattach")
+	}
+	last := tr.unicasts[len(tr.unicasts)-1]
+	if last.to != 7 {
+		t.Fatalf("re-report addressed to %d", last.to)
+	}
+}
+
+func TestProtocolAccessors(t *testing.T) {
+	tn := buildNet(t, 10, 51, fixedCfg(5))
+	if tn.proto.Tree() != tn.tree {
+		t.Fatal("Tree accessor")
+	}
+	if tn.proto.Predictor() == nil {
+		t.Fatal("Predictor accessor")
+	}
+	if tn.proto.EstimateSeq() != 0 {
+		t.Fatal("estimates before start")
+	}
+	tn.run(250)
+	if tn.proto.EstimateSeq() == 0 {
+		t.Fatal("no estimates after 2+ hours")
+	}
+	if len(tn.proto.EstimatesEmitted()) != int(tn.proto.EstimateSeq()) {
+		t.Fatal("EstimatesEmitted length mismatch")
+	}
+	_ = topology.Root
+}

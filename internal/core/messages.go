@@ -1,0 +1,107 @@
+// Package core implements DirQ, the paper's adaptive directed query
+// dissemination scheme: per-sensor-type range tables with hysteresis
+// (§4.1), Update Messages that keep aggregate range information accurate
+// towards the root, directed forwarding of range queries to exactly the
+// children whose subtree ranges intersect, hourly EHr estimate distribution
+// (§4/§6), and cross-layer adaptation to topology changes (§4.2).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/sensordata"
+	"repro/internal/topology"
+)
+
+// UpdateMsg is the Update Message of §4.1: the new aggregate
+// (min(THmin), max(THmax)) of the sender's Range Table for one sensor type,
+// unicast to the sender's parent. Present=false withdraws the sensor type —
+// sent when the last sensor of that type disappears from the sender's
+// subtree (§4.2: "any changes in sensor types such as the addition or
+// removal of sensors also propagates up the tree").
+type UpdateMsg struct {
+	Type    sensordata.Type
+	Min     float64
+	Max     float64
+	Present bool
+}
+
+// String renders the update for traces.
+func (u UpdateMsg) String() string {
+	if !u.Present {
+		return fmt.Sprintf("update{%s: withdrawn}", u.Type)
+	}
+	return fmt.Sprintf("update{%s: [%.2f, %.2f]}", u.Type, u.Min, u.Max)
+}
+
+// QueryMsg carries one range query down the tree.
+type QueryMsg struct {
+	Q query.Query
+}
+
+// EstimateMsg is the hourly broadcast from the root: the expected number of
+// queries over the next hour (EHr) and the per-node update budget the ATC
+// derives from it. Seq deduplicates the per-hop re-broadcasts.
+type EstimateMsg struct {
+	Seq           int64
+	QueriesPerHr  int
+	BudgetPerNode float64 // allowed Update Messages per node per hour
+}
+
+// TraceKind classifies protocol trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	// TraceUpdateSent: Node transmitted an Update Message for Type to Peer.
+	TraceUpdateSent TraceKind = iota
+	// TraceWithdraw: Node withdrew Type from Peer (subtree lost the sensor).
+	TraceWithdraw
+	// TraceQueryReceived: Node received query QueryID.
+	TraceQueryReceived
+	// TraceQuerySource: Node answered query QueryID.
+	TraceQuerySource
+	// TraceEstimate: the root emitted estimate wave QueryID (= Seq).
+	TraceEstimate
+	// TraceDeath: Node was declared dead (Peer = its former parent).
+	TraceDeath
+	// TraceReattach: Node re-attached under new parent Peer.
+	TraceReattach
+	// TraceJoin: Node joined the network under parent Peer.
+	TraceJoin
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceUpdateSent:
+		return "update-sent"
+	case TraceWithdraw:
+		return "withdraw"
+	case TraceQueryReceived:
+		return "query-received"
+	case TraceQuerySource:
+		return "query-source"
+	case TraceEstimate:
+		return "estimate"
+	case TraceDeath:
+		return "death"
+	case TraceReattach:
+		return "reattach"
+	case TraceJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one protocol-level occurrence, emitted through the optional
+// Config.Trace hook. It is observability plumbing, not protocol state.
+type TraceEvent struct {
+	Kind    TraceKind
+	Node    topology.NodeID
+	Peer    topology.NodeID // parent/child/neighbor, kind-dependent; -1 if n/a
+	Type    sensordata.Type // sensor type for update/withdraw events
+	QueryID int64           // query id or estimate sequence number
+}

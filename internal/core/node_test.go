@@ -1,0 +1,350 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/radio"
+	"repro/internal/sensordata"
+	"repro/internal/topology"
+)
+
+// fakeTransport records transmissions instead of delivering them.
+type fakeTransport struct {
+	unicasts []struct {
+		from, to topology.NodeID
+		class    radio.Class
+		msg      any
+	}
+	multicasts []struct {
+		from    topology.NodeID
+		targets []topology.NodeID
+		class   radio.Class
+		msg     any
+	}
+}
+
+func (f *fakeTransport) Unicast(from, to topology.NodeID, class radio.Class, msg any) {
+	f.unicasts = append(f.unicasts, struct {
+		from, to topology.NodeID
+		class    radio.Class
+		msg      any
+	}{from, to, class, msg})
+}
+
+func (f *fakeTransport) Multicast(from topology.NodeID, targets []topology.NodeID, class radio.Class, msg any) {
+	f.multicasts = append(f.multicasts, struct {
+		from    topology.NodeID
+		targets []topology.NodeID
+		class   radio.Class
+		msg     any
+	}{from, append([]topology.NodeID(nil), targets...), class, msg})
+}
+
+// fakeObserver records query events.
+type fakeObserver struct {
+	received []topology.NodeID
+	sources  []topology.NodeID
+}
+
+func (f *fakeObserver) QueryReceived(id topology.NodeID, qid int64) {
+	f.received = append(f.received, id)
+}
+func (f *fakeObserver) QuerySource(id topology.NodeID, qid int64) {
+	f.sources = append(f.sources, id)
+}
+
+func tempOnly() sensordata.TypeSet {
+	return sensordata.TypeSet(0).With(sensordata.Temperature)
+}
+
+func newLeaf(tr Transport, obs QueryObserver, pct float64) *Node {
+	n := NewNode(5, tempOnly(), &FixedController{Pct: pct}, tr, obs)
+	n.SetParent(2, true)
+	return n
+}
+
+func TestFirstReadingSendsUpdate(t *testing.T) {
+	tr := &fakeTransport{}
+	n := newLeaf(tr, &fakeObserver{}, 4) // δ = 4% of 50°C span = 2°C
+	n.OnReading(sensordata.Temperature, 20)
+	if len(tr.unicasts) != 1 {
+		t.Fatalf("%d updates sent, want 1", len(tr.unicasts))
+	}
+	u := tr.unicasts[0]
+	if u.to != 2 || u.class != radio.ClassUpdate {
+		t.Fatalf("update %+v misaddressed", u)
+	}
+	um := u.msg.(UpdateMsg)
+	if um.Min != 18 || um.Max != 22 || !um.Present {
+		t.Fatalf("update payload %+v, want [18,22]", um)
+	}
+	if n.UpdatesSent() != 1 {
+		t.Fatalf("UpdatesSent = %d", n.UpdatesSent())
+	}
+}
+
+func TestStableReadingsSuppressUpdates(t *testing.T) {
+	tr := &fakeTransport{}
+	n := newLeaf(tr, &fakeObserver{}, 4)
+	n.OnReading(sensordata.Temperature, 20)
+	for _, v := range []float64{20.5, 19.2, 21.9, 18.1} {
+		n.OnReading(sensordata.Temperature, v)
+	}
+	if len(tr.unicasts) != 1 {
+		t.Fatalf("stable readings triggered %d updates, want 1", len(tr.unicasts))
+	}
+	// Only a major change re-centres AND moves the aggregate enough.
+	n.OnReading(sensordata.Temperature, 30)
+	if len(tr.unicasts) != 2 {
+		t.Fatalf("major change sent %d updates total, want 2", len(tr.unicasts))
+	}
+}
+
+func TestUnmountedTypeIgnored(t *testing.T) {
+	tr := &fakeTransport{}
+	n := newLeaf(tr, &fakeObserver{}, 4)
+	n.OnReading(sensordata.Humidity, 50)
+	if len(tr.unicasts) != 0 {
+		t.Fatal("reading for unmounted type produced traffic")
+	}
+	if n.Table(sensordata.Humidity) != nil {
+		t.Fatal("table created for unmounted type")
+	}
+}
+
+func TestSmallAggregateMovesSuppressed(t *testing.T) {
+	// Child reports shift the aggregate by <= δ: no upward propagation.
+	tr := &fakeTransport{}
+	n := NewNode(2, 0, &FixedController{Pct: 4}, tr, &fakeObserver{}) // δ=2°C
+	n.SetParent(0, true)
+	n.AddChild(5)
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Min: 18, Max: 22, Present: true})
+	if len(tr.unicasts) != 1 {
+		t.Fatalf("first child report forwarded %d times, want 1", len(tr.unicasts))
+	}
+	// Move the child range by 1.5 (< δ): suppressed.
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Min: 16.5, Max: 22, Present: true})
+	if len(tr.unicasts) != 1 {
+		t.Fatal("sub-threshold aggregate move was forwarded")
+	}
+	// Move by > δ total from last sent: forwarded.
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Min: 15.5, Max: 22, Present: true})
+	if len(tr.unicasts) != 2 {
+		t.Fatalf("%d updates after super-threshold move, want 2", len(tr.unicasts))
+	}
+}
+
+func TestRootDoesNotTransmitUpdates(t *testing.T) {
+	tr := &fakeTransport{}
+	root := NewNode(0, 0, &FixedController{Pct: 4}, tr, &fakeObserver{})
+	root.AddChild(1)
+	root.HandleMessage(1, UpdateMsg{Type: sensordata.Temperature, Min: 1, Max: 2, Present: true})
+	if len(tr.unicasts) != 0 {
+		t.Fatal("root transmitted an update")
+	}
+	// But its table must be updated for routing.
+	rt := root.Table(sensordata.Temperature)
+	if rt == nil {
+		t.Fatal("root has no table after child report")
+	}
+	if tu, ok := rt.Child(1); !ok || tu != (Tuple{1, 2}) {
+		t.Fatalf("root child tuple %+v", tu)
+	}
+}
+
+func TestQueryRoutingToMatchingChildrenOnly(t *testing.T) {
+	tr := &fakeTransport{}
+	obs := &fakeObserver{}
+	n := NewNode(2, tempOnly(), &FixedController{Pct: 4}, tr, obs)
+	n.SetParent(0, true)
+	n.AddChild(5)
+	n.AddChild(6)
+	n.AddChild(7)
+	n.OnReading(sensordata.Temperature, 30) // own [28, 32]
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Min: 10, Max: 15, Present: true})
+	n.HandleMessage(6, UpdateMsg{Type: sensordata.Temperature, Min: 20, Max: 25, Present: true})
+	n.HandleMessage(7, UpdateMsg{Type: sensordata.Temperature, Min: 35, Max: 38, Present: true})
+	tr.multicasts = nil
+	obs.received, obs.sources = nil, nil
+
+	q := QueryMsg{Q: mkQuery(1, sensordata.Temperature, 22, 31)}
+	n.HandleMessage(0, q)
+
+	if len(obs.received) != 1 || obs.received[0] != 2 {
+		t.Fatalf("received = %v", obs.received)
+	}
+	// Own tuple [28,32] intersects [22,31]: node is a source.
+	if len(obs.sources) != 1 || obs.sources[0] != 2 {
+		t.Fatalf("sources = %v", obs.sources)
+	}
+	if len(tr.multicasts) != 1 {
+		t.Fatalf("multicasts %d, want 1", len(tr.multicasts))
+	}
+	mc := tr.multicasts[0]
+	if len(mc.targets) != 1 || mc.targets[0] != 6 {
+		t.Fatalf("forwarded to %v, want only child 6 ([20,25] intersects)", mc.targets)
+	}
+	if mc.class != radio.ClassQuery {
+		t.Fatalf("query forwarded under class %v", mc.class)
+	}
+}
+
+func TestQueryNotForwardedWithoutTable(t *testing.T) {
+	tr := &fakeTransport{}
+	obs := &fakeObserver{}
+	n := NewNode(2, 0, &FixedController{Pct: 4}, tr, obs)
+	n.AddChild(5)
+	n.HandleMessage(0, QueryMsg{Q: mkQuery(1, sensordata.Temperature, 0, 50)})
+	if len(tr.multicasts) != 0 {
+		t.Fatal("query forwarded despite absent range table (type not in subtree)")
+	}
+	if len(obs.received) != 1 {
+		t.Fatal("receipt not recorded")
+	}
+}
+
+func TestQuerySourceButNoOwnSensor(t *testing.T) {
+	// A pure forwarding node (Fig. 4: N1 has only type C but keeps tables
+	// for A and B) must never answer for types it does not mount.
+	tr := &fakeTransport{}
+	obs := &fakeObserver{}
+	n := NewNode(2, 0, &FixedController{Pct: 4}, tr, obs)
+	n.AddChild(5)
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Min: 10, Max: 20, Present: true})
+	n.HandleMessage(0, QueryMsg{Q: mkQuery(1, sensordata.Temperature, 0, 50)})
+	if len(obs.sources) != 0 {
+		t.Fatal("sensorless node answered a query")
+	}
+	if len(tr.multicasts) != 1 {
+		t.Fatal("forwarding node did not forward")
+	}
+}
+
+func TestChildWithdrawalPropagates(t *testing.T) {
+	tr := &fakeTransport{}
+	n := NewNode(2, 0, &FixedController{Pct: 4}, tr, &fakeObserver{})
+	n.SetParent(0, true)
+	n.AddChild(5)
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Min: 1, Max: 2, Present: true})
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Present: false})
+	if len(tr.unicasts) != 2 {
+		t.Fatalf("%d updates, want 2 (report + withdrawal)", len(tr.unicasts))
+	}
+	um := tr.unicasts[1].msg.(UpdateMsg)
+	if um.Present {
+		t.Fatalf("second update %+v should be a withdrawal", um)
+	}
+}
+
+func TestRemoveChildPropagatesShrink(t *testing.T) {
+	tr := &fakeTransport{}
+	n := NewNode(2, 0, &FixedController{Pct: 4}, tr, &fakeObserver{})
+	n.SetParent(0, true)
+	n.AddChild(5)
+	n.AddChild(6)
+	n.HandleMessage(5, UpdateMsg{Type: sensordata.Temperature, Min: 0, Max: 10, Present: true})
+	n.HandleMessage(6, UpdateMsg{Type: sensordata.Temperature, Min: 20, Max: 45, Present: true})
+	sent := len(tr.unicasts)
+	n.RemoveChild(6) // aggregate shrinks from [0,45] to [0,10]
+	if len(tr.unicasts) != sent+1 {
+		t.Fatalf("dead child did not trigger an update (%d -> %d)", sent, len(tr.unicasts))
+	}
+	um := tr.unicasts[len(tr.unicasts)-1].msg.(UpdateMsg)
+	if um.Min != 0 || um.Max != 10 || !um.Present {
+		t.Fatalf("post-death update %+v, want [0,10]", um)
+	}
+	if got := n.Children(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("children after removal: %v", got)
+	}
+}
+
+func TestResendAllAfterReattach(t *testing.T) {
+	tr := &fakeTransport{}
+	n := newLeaf(tr, &fakeObserver{}, 4)
+	n.OnReading(sensordata.Temperature, 20)
+	tr.unicasts = nil
+	// Orphaned, then re-attached to node 9.
+	n.SetParent(0, false)
+	n.OnReading(sensordata.Temperature, 35) // table changes while orphaned: no tx
+	if len(tr.unicasts) != 0 {
+		t.Fatal("orphan transmitted an update")
+	}
+	n.SetParent(9, true)
+	n.ResendAll()
+	if len(tr.unicasts) != 1 {
+		t.Fatalf("ResendAll sent %d updates, want 1", len(tr.unicasts))
+	}
+	if tr.unicasts[0].to != 9 {
+		t.Fatalf("resend addressed to %d, want new parent 9", tr.unicasts[0].to)
+	}
+}
+
+func TestEstimateDedupAndForwarding(t *testing.T) {
+	tr := &fakeTransport{}
+	ctrl := &countingController{FixedController: FixedController{Pct: 5}}
+	n := NewNode(2, tempOnly(), ctrl, tr, &fakeObserver{})
+	n.AddChild(5)
+	e := EstimateMsg{Seq: 1, QueriesPerHr: 10, BudgetPerNode: 3}
+	n.HandleMessage(0, e)
+	n.HandleMessage(0, e) // duplicate
+	if ctrl.estimates != 1 {
+		t.Fatalf("controller saw %d estimates, want 1 (dedup)", ctrl.estimates)
+	}
+	if len(tr.multicasts) != 1 {
+		t.Fatalf("estimate forwarded %d times, want 1", len(tr.multicasts))
+	}
+	// Newer sequence passes.
+	n.HandleMessage(0, EstimateMsg{Seq: 2, QueriesPerHr: 12})
+	if ctrl.estimates != 2 {
+		t.Fatal("newer estimate dropped")
+	}
+}
+
+func TestAddChildIdempotentSorted(t *testing.T) {
+	n := NewNode(0, 0, &FixedController{}, &fakeTransport{}, &fakeObserver{})
+	n.AddChild(5)
+	n.AddChild(2)
+	n.AddChild(5)
+	n.AddChild(9)
+	got := n.Children()
+	want := []topology.NodeID{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("children %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("children %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEndEpochFeedsController(t *testing.T) {
+	ctrl := &countingController{FixedController: FixedController{Pct: 5}}
+	n := NewNode(3, tempOnly(), ctrl, &fakeTransport{}, &fakeObserver{})
+	n.SetParent(0, true)
+	n.OnReading(sensordata.Temperature, 10)
+	n.OnReading(sensordata.Temperature, 12)
+	n.EndEpoch()
+	if ctrl.epochs != 1 {
+		t.Fatalf("OnEpoch calls = %d", ctrl.epochs)
+	}
+	if ctrl.lastVol <= 0 {
+		t.Fatalf("normalized volatility %v, want > 0", ctrl.lastVol)
+	}
+	if ctrl.updates != 1 {
+		t.Fatalf("OnUpdateSent calls = %d, want 1", ctrl.updates)
+	}
+}
+
+// countingController wraps FixedController with call counters.
+type countingController struct {
+	FixedController
+	estimates int
+	epochs    int
+	updates   int
+	lastVol   float64
+}
+
+func (c *countingController) OnEstimate(e EstimateMsg) { c.estimates++ }
+func (c *countingController) OnEpoch(v float64)        { c.epochs++; c.lastVol = v }
+func (c *countingController) OnUpdateSent()            { c.updates++ }

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestTupleIntersects(t *testing.T) {
+	tu := Tuple{Min: 10, Max: 20}
+	cases := []struct {
+		lo, hi float64
+		want   bool
+	}{
+		{0, 5, false},
+		{0, 10, true},  // touching at min
+		{20, 30, true}, // touching at max
+		{12, 15, true}, // contained
+		{5, 25, true},  // containing
+		{21, 30, false},
+	}
+	for _, c := range cases {
+		if tu.Intersects(c.lo, c.hi) != c.want {
+			t.Fatalf("[10,20] vs [%v,%v]: want %v", c.lo, c.hi, c.want)
+		}
+	}
+}
+
+func TestObserveReadingHysteresis(t *testing.T) {
+	rt := NewRangeTable()
+	// First reading always re-centres.
+	if !rt.ObserveReading(25, 2) {
+		t.Fatal("first reading did not modify the table")
+	}
+	own, ok := rt.Own()
+	if !ok || own.Min != 23 || own.Max != 27 {
+		t.Fatalf("own tuple %+v, want [23,27]", own)
+	}
+	// Readings inside [THmin, THmax] leave the table unchanged (§4.1).
+	for _, v := range []float64{23, 24.5, 27} {
+		if rt.ObserveReading(v, 2) {
+			t.Fatalf("in-range reading %v modified the table", v)
+		}
+	}
+	// A reading outside re-centres.
+	if !rt.ObserveReading(27.5, 2) {
+		t.Fatal("out-of-range reading did not re-centre")
+	}
+	own, _ = rt.Own()
+	if own.Min != 25.5 || own.Max != 29.5 {
+		t.Fatalf("re-centred tuple %+v, want [25.5,29.5]", own)
+	}
+}
+
+func TestObserveReadingZeroDelta(t *testing.T) {
+	rt := NewRangeTable()
+	rt.ObserveReading(5, 0)
+	if rt.ObserveReading(5, 0) {
+		t.Fatal("identical reading with zero delta modified the table")
+	}
+	if !rt.ObserveReading(5.0001, 0) {
+		t.Fatal("any change with zero delta must modify the table")
+	}
+}
+
+func TestObserveReadingNegativeDeltaPanics(t *testing.T) {
+	rt := NewRangeTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delta accepted")
+		}
+	}()
+	rt.ObserveReading(1, -1)
+}
+
+func TestChildManagement(t *testing.T) {
+	rt := NewRangeTable()
+	if !rt.SetChild(3, Tuple{1, 2}) {
+		t.Fatal("new child entry reported unchanged")
+	}
+	if rt.SetChild(3, Tuple{1, 2}) {
+		t.Fatal("identical child entry reported changed")
+	}
+	if !rt.SetChild(3, Tuple{1, 3}) {
+		t.Fatal("modified child entry reported unchanged")
+	}
+	if got, ok := rt.Child(3); !ok || got != (Tuple{1, 3}) {
+		t.Fatalf("Child(3) = %+v,%v", got, ok)
+	}
+	if _, ok := rt.Child(9); ok {
+		t.Fatal("phantom child")
+	}
+	if !rt.RemoveChild(3) || rt.RemoveChild(3) {
+		t.Fatal("RemoveChild bookkeeping wrong")
+	}
+}
+
+func TestLenAndEmpty(t *testing.T) {
+	rt := NewRangeTable()
+	if !rt.Empty() || rt.Len() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	rt.SetChild(1, Tuple{0, 1})
+	rt.SetChild(2, Tuple{0, 1})
+	if rt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rt.Len())
+	}
+	rt.ObserveReading(5, 1)
+	if rt.Len() != 3 {
+		t.Fatalf("Len with own = %d, want 3 (n+1 rows, §4.1)", rt.Len())
+	}
+	rt.ClearOwn()
+	rt.RemoveChild(1)
+	rt.RemoveChild(2)
+	if !rt.Empty() {
+		t.Fatal("cleared table not empty")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	rt := NewRangeTable()
+	if _, ok := rt.Aggregate(); ok {
+		t.Fatal("empty table produced an aggregate")
+	}
+	rt.ObserveReading(10, 1) // own [9, 11]
+	agg, ok := rt.Aggregate()
+	if !ok || agg != (Tuple{9, 11}) {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	rt.SetChild(1, Tuple{5, 8})
+	rt.SetChild(2, Tuple{10, 20})
+	agg, _ = rt.Aggregate()
+	if agg != (Tuple{5, 20}) {
+		t.Fatalf("aggregate %+v, want [5,20] (Fig. 2)", agg)
+	}
+	// Children-only table (forwarding node without the sensor, Fig. 4).
+	rt2 := NewRangeTable()
+	rt2.SetChild(7, Tuple{-3, 4})
+	agg, ok = rt2.Aggregate()
+	if !ok || agg != (Tuple{-3, 4}) {
+		t.Fatalf("children-only aggregate %+v", agg)
+	}
+}
+
+func TestDecideUpdateFirstSend(t *testing.T) {
+	rt := NewRangeTable()
+	if pu := rt.decideUpdate(1); pu.send {
+		t.Fatal("empty never-sent table wants to send")
+	}
+	rt.ObserveReading(10, 1)
+	pu := rt.decideUpdate(1)
+	if !pu.send || pu.withdraw {
+		t.Fatalf("first aggregate not sent: %+v", pu)
+	}
+	rt.markSent(pu.agg)
+	if pu := rt.decideUpdate(1); pu.send {
+		t.Fatal("unchanged table wants to resend")
+	}
+}
+
+func TestDecideUpdateThreshold(t *testing.T) {
+	rt := NewRangeTable()
+	rt.ObserveReading(10, 1)
+	pu := rt.decideUpdate(1)
+	rt.markSent(pu.agg) // sent [9, 11]
+
+	// Aggregate moves by <= delta: no update (Fig. 3).
+	rt.SetChild(1, Tuple{8.5, 11})
+	if pu := rt.decideUpdate(1); pu.send {
+		t.Fatalf("min moved 0.5 <= δ=1 but update sent")
+	}
+	// Aggregate moves by > delta: update due.
+	rt.SetChild(2, Tuple{7.5, 11})
+	pu = rt.decideUpdate(1)
+	if !pu.send {
+		t.Fatal("min moved 1.5 > δ=1 but no update")
+	}
+	if pu.agg != (Tuple{7.5, 11}) {
+		t.Fatalf("update payload %+v", pu.agg)
+	}
+}
+
+func TestDecideUpdateMaxSide(t *testing.T) {
+	rt := NewRangeTable()
+	rt.ObserveReading(10, 1)
+	rt.markSent(Tuple{9, 11})
+	rt.SetChild(1, Tuple{9, 12.5})
+	if pu := rt.decideUpdate(1); !pu.send {
+		t.Fatal("max moved 1.5 > δ=1 but no update")
+	}
+}
+
+func TestDecideUpdateWithdrawal(t *testing.T) {
+	rt := NewRangeTable()
+	rt.SetChild(1, Tuple{0, 5})
+	pu := rt.decideUpdate(1)
+	rt.markSent(pu.agg)
+	rt.RemoveChild(1)
+	pu = rt.decideUpdate(1)
+	if !pu.send || !pu.withdraw {
+		t.Fatalf("emptied table should withdraw, got %+v", pu)
+	}
+	rt.markWithdrawn()
+	if pu := rt.decideUpdate(1); pu.send {
+		t.Fatal("already-withdrawn table wants to send again")
+	}
+	if _, ok := rt.LastSent(); ok {
+		t.Fatal("LastSent valid after withdrawal")
+	}
+}
+
+// Property: the aggregate always bounds every row.
+func TestPropertyAggregateBoundsRows(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		rng := sim.NewRNG(seed)
+		rt := NewRangeTable()
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				rt.ObserveReading(rng.Range(-50, 50), rng.Range(0, 5))
+			case 1:
+				lo := rng.Range(-50, 50)
+				rt.SetChild(topology.NodeID(int(op)%5), Tuple{lo, lo + rng.Range(0, 10)})
+			case 2:
+				rt.RemoveChild(topology.NodeID(int(op) % 5))
+			}
+		}
+		agg, ok := rt.Aggregate()
+		if !ok {
+			return rt.Empty()
+		}
+		if own, has := rt.Own(); has {
+			if own.Min < agg.Min || own.Max > agg.Max {
+				return false
+			}
+		}
+		for _, c := range rt.Children() {
+			tu, _ := rt.Child(c)
+			if tu.Min < agg.Min || tu.Max > agg.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with bounded signal excursions, hysteresis bounds the number of
+// re-centres — a reading sequence confined to a window of width w can
+// re-centre at most once per |w/δ| + 1 exits.
+func TestPropertyHysteresisSuppressesStableSignal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		rt := NewRangeTable()
+		centre := rng.Range(-100, 100)
+		const delta = 4.0
+		changes := 0
+		for i := 0; i < 1000; i++ {
+			// Signal stays within ±1 of centre; δ=4 ⇒ after the first
+			// observation the tuple [c-4, c+4] always contains the signal.
+			v := centre + rng.Range(-1, 1)
+			if rt.ObserveReading(v, delta) {
+				changes++
+			}
+		}
+		return changes == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if abs(-3) != 3 || abs(3) != 3 || abs(0) != 0 {
+		t.Fatal("abs broken")
+	}
+	if !math.IsInf(abs(math.Inf(-1)), 1) {
+		t.Fatal("abs(-inf)")
+	}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// tiny returns very small options so experiment tests stay fast.
+func tiny() Options { return Options{Seed: 3, NumNodes: 25, Epochs: 600} }
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Comment: "a\nb",
+		Header:  []string{"x", "y"},
+		Rows:    [][]string{{"1", "hello"}, {"2", "wo,rld"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## demo", "# a", "# b", "x", "hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	if !strings.Contains(csv, "x,y") {
+		t.Fatalf("CSV missing header: %s", csv)
+	}
+	if !strings.Contains(csv, `"wo,rld"`) {
+		t.Fatalf("CSV comma not escaped: %s", csv)
+	}
+}
+
+func TestAnalyticExperimentCrossCheck(t *testing.T) {
+	r, err := Analytic([]int{2, 3}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.SimFlood != row.CF {
+			t.Fatalf("k=%d d=%d: simulated flood %d != CF %d", row.K, row.D, row.SimFlood, row.CF)
+		}
+		if row.SimCQDMax != row.CQD {
+			t.Fatalf("k=%d d=%d: simulated CQD %d != CQDmax %d", row.K, row.D, row.SimCQDMax, row.CQD)
+		}
+	}
+	// Worked example present.
+	found := false
+	for _, row := range r.Rows {
+		if row.K == 2 && row.D == 4 {
+			found = true
+			if math.Abs(row.FMax-46.0/60.0) > 1e-12 {
+				t.Fatalf("fMax(2,4) = %v", row.FMax)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("worked example (2,4) missing")
+	}
+	tb := r.Table()
+	if len(tb.Rows) != 4 {
+		t.Fatal("table row count")
+	}
+}
+
+func TestFig5TrendReceiveGrowsWithDelta(t *testing.T) {
+	r, err := Fig5(tiny(), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("%d delta settings, want 9", len(r.Rows))
+	}
+	// The paper's trend: receive% at δ=9 > receive% at δ=1, should%
+	// roughly constant.
+	first, last := r.Rows[0], r.Rows[8]
+	if last.PctReceive <= first.PctReceive {
+		t.Fatalf("receive%% did not grow with delta: %v -> %v", first.PctReceive, last.PctReceive)
+	}
+	if math.Abs(first.PctShould-last.PctShould) > 12 {
+		t.Fatalf("should%% should be ~flat: %v vs %v", first.PctShould, last.PctShould)
+	}
+	if last.PctShouldNot <= first.PctShouldNot {
+		t.Fatalf("should-not%% did not grow with delta")
+	}
+	tb := r.Table()
+	if len(tb.Rows) != 9 || len(tb.Header) != 5 {
+		t.Fatal("fig5 table shape")
+	}
+}
+
+func TestFig6ATCBelowFixedSmallDelta(t *testing.T) {
+	r, err := Fig6(tiny(), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 {
+		t.Fatalf("%d series", len(r.Series))
+	}
+	if r.UmaxPerHour <= 0 || r.Band45 >= r.Band55 {
+		t.Fatalf("reference lines: %v %v %v", r.UmaxPerHour, r.Band45, r.Band55)
+	}
+	means := r.SteadyStateMeans()
+	if means["delta=3%"] <= means["delta=9%"] {
+		t.Fatalf("update ordering wrong: %v", means)
+	}
+	if means["delta=ATC"] <= 0 {
+		t.Fatal("ATC sent no updates")
+	}
+	tb := r.Table()
+	if len(tb.Header) != 5 {
+		t.Fatalf("fig6 header %v", tb.Header)
+	}
+}
+
+func TestFig7ATCLowestOvershoot(t *testing.T) {
+	r, err := Fig7(tiny(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := map[string]float64{}
+	for _, s := range r.Series {
+		means[s.Label] = s.Mean
+	}
+	// Paper ordering: overshoot grows with δ; ATC at or below δ=3%'s level.
+	if means["delta=9%"] <= means["delta=3%"] {
+		t.Fatalf("overshoot ordering wrong: %v", means)
+	}
+	if means["delta=ATC"] > means["delta=5%"] {
+		t.Fatalf("ATC overshoot %v not better than fixed 5%%: %v", means["delta=ATC"], means)
+	}
+	tb := r.Table()
+	if tb.Rows[len(tb.Rows)-1][0] != "mean" {
+		t.Fatal("fig7 table missing mean row")
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	r, err := Headline(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.CostFraction <= 0 || row.CostFraction >= 1 {
+			t.Fatalf("coverage %v: cost fraction %v not in (0,1)", row.Coverage, row.CostFraction)
+		}
+		if row.Queries == 0 {
+			t.Fatal("no queries")
+		}
+	}
+	if len(r.Table().Rows) != 3 {
+		t.Fatal("headline table rows")
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	// Every registered experiment must run end-to-end at tiny scale and
+	// produce a non-empty table.
+	for _, id := range IDs() {
+		tb, err := Run(id, tiny())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		if tb.Title == "" {
+			t.Fatalf("%s: untitled table", id)
+		}
+	}
+	if _, err := Run("nope", tiny()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"Fig. 5", "Fig. 6", "Fig. 7", "Headline", "lifetime", "selectivity"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Fatalf("RunAll output missing %q", id)
+		}
+	}
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 9 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLifetimeExperiment(t *testing.T) {
+	r, err := Lifetime(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	var fld, atc LifetimeRow
+	for _, row := range r.Rows {
+		switch row.Strategy {
+		case "flooding":
+			fld = row
+		case "dirq-atc":
+			atc = row
+		}
+	}
+	if fld.CostFraction < 0.9 {
+		t.Fatalf("flooding cost fraction %v, want ~1", fld.CostFraction)
+	}
+	// DirQ must not lose more nodes than flooding on the same batteries.
+	if fld.FirstDeathEpoch >= 0 && atc.DeadAtEnd > fld.DeadAtEnd {
+		t.Fatalf("ATC lost %d nodes vs flooding's %d", atc.DeadAtEnd, fld.DeadAtEnd)
+	}
+	if len(r.Table().Rows) != 3 {
+		t.Fatal("lifetime table rows")
+	}
+}
+
+func TestMultiSeed(t *testing.T) {
+	r, err := MultiSeed(tiny(), scenarioATC(), 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CostFraction.N != 3 {
+		t.Fatalf("samples %d", r.CostFraction.N)
+	}
+	if r.CostFraction.Std < 0 || r.CostFraction.Mean <= 0 {
+		t.Fatalf("cost summary %+v", r.CostFraction)
+	}
+	// Different seeds should not all produce identical costs.
+	if r.UpdateTx.Min == r.UpdateTx.Max {
+		t.Fatal("no cross-seed variation in update traffic")
+	}
+	if len(r.Table().Rows) != 3 {
+		t.Fatal("multiseed table rows")
+	}
+	if _, err := MultiSeed(tiny(), scenarioATC(), 0.4, 1); err == nil {
+		t.Fatal("1 seed accepted")
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	if Full().Epochs != 20000 || Full().NumNodes != 50 {
+		t.Fatalf("Full = %+v", Full())
+	}
+	if Quick().Epochs >= Full().Epochs {
+		t.Fatal("Quick not quicker than Full")
+	}
+}
+
+// scenarioATC avoids importing scenario in every test line.
+func scenarioATC() scenario.ThresholdMode { return scenario.ATC }
+
+func TestSelectivityExperiment(t *testing.T) {
+	r, err := Selectivity(tiny(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries < 50 {
+		t.Fatalf("only %d usable queries", r.Queries)
+	}
+	if len(r.Bins) == 0 {
+		t.Fatal("no bins")
+	}
+	for _, b := range r.Bins {
+		// Involvement always >= selectivity (forwarders included).
+		if b.Amplification < 1 {
+			t.Fatalf("bin %+v: involvement below selectivity", b)
+		}
+		if b.InvMax < b.InvMin {
+			t.Fatalf("bin %+v inverted", b)
+		}
+	}
+	// The paper's claim: low-selectivity queries have the largest
+	// amplification (deep forwarding paths dominate).
+	if len(r.Bins) >= 2 && r.Bins[0].Amplification <= r.Bins[len(r.Bins)-1].Amplification {
+		t.Fatalf("amplification should fall with selectivity: %+v", r.Bins)
+	}
+	if _, err := Selectivity(tiny(), 5); err == nil {
+		t.Fatal("too-few queries accepted")
+	}
+	if len(r.Table().Rows) != len(r.Bins) {
+		t.Fatal("table shape")
+	}
+}

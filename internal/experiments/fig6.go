@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Fig6Series is one curve of Fig. 6: update messages transmitted per
+// 100-epoch bucket for one threshold configuration.
+type Fig6Series struct {
+	Label   string
+	Buckets []float64
+}
+
+// Fig6Result reproduces Fig. 6: the update traffic of fixed δ = 3/5/9 %
+// and of the ATC, against the Umax/Hr reference band.
+type Fig6Result struct {
+	Coverage    float64
+	Series      []Fig6Series
+	UmaxPerHour float64 // reference line
+	Band45      float64 // 0.45 * Umax
+	Band55      float64 // 0.55 * Umax
+}
+
+// Fig6 runs the four configurations at the given coverage (the paper's
+// panel uses 40 %).
+func Fig6(o Options, coverage float64) (*Fig6Result, error) {
+	res := &Fig6Result{Coverage: coverage}
+	run := func(label string, mode scenario.ThresholdMode, pct float64) error {
+		cfg := o.base()
+		cfg.Coverage = coverage
+		cfg.Mode = mode
+		cfg.FixedPct = pct
+		r, err := scenario.Run(cfg)
+		if err != nil {
+			return err
+		}
+		res.Series = append(res.Series, Fig6Series{Label: label, Buckets: r.UpdateTxPerBucket})
+		if mode == scenario.ATC {
+			res.UmaxPerHour = r.UmaxPerHour
+			res.Band45 = 0.45 * r.UmaxPerHour
+			res.Band55 = 0.55 * r.UmaxPerHour
+		}
+		return nil
+	}
+	for _, pct := range []float64{3, 5, 9} {
+		if err := run(fmt.Sprintf("delta=%.0f%%", pct), scenario.FixedDelta, pct); err != nil {
+			return nil, err
+		}
+	}
+	if err := run("delta=ATC", scenario.ATC, 0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders the series as one row per bucket.
+func (r *Fig6Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 6: update messages per 100 epochs (percentage of relevant nodes = %.0f%%)", r.Coverage*100),
+		Comment: fmt.Sprintf("Reference lines: Umax/Hr = %.0f, 0.55*Umax = %.0f, 0.45*Umax = %.0f.\n"+
+			"The ATC column should settle inside the band.", r.UmaxPerHour, r.Band55, r.Band45),
+		Header: []string{"epoch"},
+	}
+	maxLen := 0
+	for _, s := range r.Series {
+		t.Header = append(t.Header, s.Label)
+		if len(s.Buckets) > maxLen {
+			maxLen = len(s.Buckets)
+		}
+	}
+	for b := 0; b < maxLen; b++ {
+		row := []string{fmt.Sprintf("%d", (b+1)*100)}
+		for _, s := range r.Series {
+			if b < len(s.Buckets) {
+				row = append(row, fmt.Sprintf("%.0f", s.Buckets[b]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// SteadyStateMeans returns each series' mean bucket value over the second
+// half of the run (after ATC convergence).
+func (r *Fig6Result) SteadyStateMeans() map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range r.Series {
+		if len(s.Buckets) == 0 {
+			continue
+		}
+		half := s.Buckets[len(s.Buckets)/2:]
+		sum := 0.0
+		for _, v := range half {
+			sum += v
+		}
+		out[s.Label] = sum / float64(len(half))
+	}
+	return out
+}

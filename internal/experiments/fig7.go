@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Fig7Series is one overshoot-over-time curve.
+type Fig7Series struct {
+	Label string
+	// Buckets holds the mean per-query overshoot (% of nodes wrongly
+	// reached) per 100-epoch bucket.
+	Buckets []float64
+	// Mean is the run-wide average overshoot — the paper quotes ≈3.6 % for
+	// the ATC at 20 % relevant nodes.
+	Mean float64
+}
+
+// Fig7Result reproduces Fig. 7: overshoot under fixed δ = 3/5/9 % and ATC.
+type Fig7Result struct {
+	Coverage float64
+	Series   []Fig7Series
+}
+
+// Fig7 runs the four configurations at the given coverage (the paper's
+// panel uses 20 %).
+func Fig7(o Options, coverage float64) (*Fig7Result, error) {
+	res := &Fig7Result{Coverage: coverage}
+	run := func(label string, mode scenario.ThresholdMode, pct float64) error {
+		cfg := o.base()
+		cfg.Coverage = coverage
+		cfg.Mode = mode
+		cfg.FixedPct = pct
+		r, err := scenario.Run(cfg)
+		if err != nil {
+			return err
+		}
+		s := Fig7Series{Label: label, Mean: r.Summary.MeanOvershoot}
+		for _, b := range r.OvershootPerBucket {
+			s.Buckets = append(s.Buckets, b.Mean())
+		}
+		res.Series = append(res.Series, s)
+		return nil
+	}
+	for _, pct := range []float64{3, 5, 9} {
+		if err := run(fmt.Sprintf("delta=%.0f%%", pct), scenario.FixedDelta, pct); err != nil {
+			return nil, err
+		}
+	}
+	if err := run("delta=ATC", scenario.ATC, 0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders the overshoot series plus the per-series means.
+func (r *Fig7Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 7: overshoot using different delta and the ATC (percentage of relevant nodes = %.0f%%)", r.Coverage*100),
+		Comment: "Overshoot = nodes wrongly reached as % of the non-root population,\n" +
+			"averaged over the queries in each 100-epoch bucket. Final row: run-wide mean.",
+		Header: []string{"epoch"},
+	}
+	maxLen := 0
+	for _, s := range r.Series {
+		t.Header = append(t.Header, s.Label)
+		if len(s.Buckets) > maxLen {
+			maxLen = len(s.Buckets)
+		}
+	}
+	for b := 0; b < maxLen; b++ {
+		row := []string{fmt.Sprintf("%d", (b+1)*100)}
+		for _, s := range r.Series {
+			if b < len(s.Buckets) {
+				row = append(row, f2(s.Buckets[b]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	mean := []string{"mean"}
+	for _, s := range r.Series {
+		mean = append(mean, f2(s.Mean))
+	}
+	t.Rows = append(t.Rows, mean)
+	return t
+}

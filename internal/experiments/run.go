@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/scenario"
+)
+
+// Known experiment identifiers.
+const (
+	IDFig5a    = "fig5a"
+	IDFig5b    = "fig5b"
+	IDFig6     = "fig6"
+	IDFig7     = "fig7"
+	IDAnalytic = "analytic"
+	IDHeadline = "headline"
+	IDLifetime = "lifetime"
+	IDSeeds    = "seeds"
+	IDSelect   = "selectivity"
+)
+
+// IDs returns the known experiment identifiers in canonical order.
+func IDs() []string {
+	return []string{IDFig5a, IDFig5b, IDFig6, IDFig7, IDAnalytic, IDHeadline, IDLifetime, IDSeeds, IDSelect}
+}
+
+// Run executes one experiment by id and returns its rendered table.
+func Run(id string, o Options) (*Table, error) {
+	switch id {
+	case IDFig5a:
+		r, err := Fig5(o, 0.4)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDFig5b:
+		r, err := Fig5(o, 0.6)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDFig6:
+		r, err := Fig6(o, 0.4)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDFig7:
+		r, err := Fig7(o, 0.2)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDAnalytic:
+		r, err := Analytic([]int{2, 3, 4, 8}, []int{1, 2, 3, 4})
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDHeadline:
+		r, err := Headline(o)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDLifetime:
+		r, err := Lifetime(o)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDSeeds:
+		r, err := MultiSeed(o, scenario.ATC, 0.4, 5)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDSelect:
+		r, err := Selectivity(o, 400)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	default:
+		known := IDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+	}
+}
+
+// RunAll executes every experiment and renders each table to w.
+func RunAll(o Options, w io.Writer) error {
+	for _, id := range IDs() {
+		t, err := Run(id, o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

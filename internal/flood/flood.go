@@ -1,0 +1,87 @@
+// Package flood implements the paper's baseline: disseminating a query by
+// flooding the entire network (§5.1). Every node that can be reached
+// performs exactly one MAC broadcast per query — "even if a node does not
+// have any other neighbor apart from the node it has received a message
+// from, it still carries out a broadcast operation" — so the transmission
+// cost is the number of reached nodes and the reception cost is twice the
+// number of links among them.
+package flood
+
+import (
+	"repro/internal/radio"
+	"repro/internal/topology"
+)
+
+// Result describes one flooding operation.
+type Result struct {
+	// Reached lists every node that received (and re-broadcast) the query,
+	// in BFS order from the origin. The origin itself is included: it
+	// transmits the query too.
+	Reached []topology.NodeID
+	// Cost is the tx/rx unit cost of this flood alone.
+	Cost radio.Cost
+}
+
+// Disseminate floods msg from the origin across all live nodes reachable
+// over live radio links, accounting costs on the channel's meter under
+// radio.ClassFlood. Receivers registered on the channel hear the message
+// once per live neighbor, exactly as a real flood would deliver duplicates.
+func Disseminate(ch *radio.Channel, origin topology.NodeID, msg any) Result {
+	g := ch.Graph()
+	if !ch.Alive(origin) {
+		return Result{}
+	}
+	before := ch.Meter().ByClass(radio.ClassFlood)
+
+	// BFS over live nodes to determine who participates.
+	visited := make(map[topology.NodeID]bool, g.Len())
+	order := []topology.NodeID{origin}
+	visited[origin] = true
+	for i := 0; i < len(order); i++ {
+		for _, nb := range g.Neighbors(order[i]) {
+			if ch.Alive(nb) && !visited[nb] {
+				visited[nb] = true
+				order = append(order, nb)
+			}
+		}
+	}
+	// Every participant broadcasts exactly once.
+	for _, id := range order {
+		ch.Broadcast(id, radio.ClassFlood, msg)
+	}
+
+	after := ch.Meter().ByClass(radio.ClassFlood)
+	return Result{
+		Reached: order,
+		Cost:    radio.Cost{Tx: after.Tx - before.Tx, Rx: after.Rx - before.Rx},
+	}
+}
+
+// CostOnly computes the cost of one flood without delivering anything or
+// touching any meter — used for analytic comparisons: reached-node count
+// plus twice the live-link count among reached nodes.
+func CostOnly(g *topology.Graph, alive func(topology.NodeID) bool, origin topology.NodeID) radio.Cost {
+	if !alive(origin) {
+		return radio.Cost{}
+	}
+	visited := make(map[topology.NodeID]bool, g.Len())
+	order := []topology.NodeID{origin}
+	visited[origin] = true
+	for i := 0; i < len(order); i++ {
+		for _, nb := range g.Neighbors(order[i]) {
+			if alive(nb) && !visited[nb] {
+				visited[nb] = true
+				order = append(order, nb)
+			}
+		}
+	}
+	var rx int64
+	for _, id := range order {
+		for _, nb := range g.Neighbors(id) {
+			if alive(nb) {
+				rx++ // each live link counted once per direction
+			}
+		}
+	}
+	return radio.Cost{Tx: int64(len(order)), Rx: rx}
+}

@@ -1,0 +1,64 @@
+// Package geo adds the paper's optional location attribute (§2: DirQ can
+// route on "location (static) if it is available"). Because positions are
+// static, no update traffic is needed: each node's subtree bounding box is
+// computed once from the deployed tree and only changes on topology churn.
+// A location-constrained query is then forwarded down a tree edge only if
+// the child's subtree box intersects the query rectangle AND its value
+// range matches — pruning whole regions that a value-only query would
+// still have to visit.
+package geo
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Index precomputes per-subtree bounding boxes over a communication tree.
+// Rebuild must be called after topology churn (node death / join); between
+// rebuilds stale boxes only ever shrink coverage for detached nodes, never
+// route wrongly for attached ones whose position set is unchanged.
+type Index struct {
+	pos   func(topology.NodeID) topology.Position
+	boxes map[topology.NodeID]topology.Rect
+}
+
+// NewIndex builds the index for the given tree; pos maps nodes to their
+// static positions.
+func NewIndex(tree *topology.Tree, pos func(topology.NodeID) topology.Position) (*Index, error) {
+	if tree == nil || pos == nil {
+		return nil, fmt.Errorf("geo: nil tree or position map")
+	}
+	idx := &Index{pos: pos}
+	idx.Rebuild(tree)
+	return idx, nil
+}
+
+// Rebuild recomputes every subtree box bottom-up.
+func (ix *Index) Rebuild(tree *topology.Tree) {
+	ix.boxes = make(map[topology.NodeID]topology.Rect, tree.Len())
+	// Post-order accumulation: process nodes deepest-first.
+	order := tree.Subtree(tree.Root())
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		box := topology.RectAround(ix.pos(id))
+		for _, c := range tree.Children(id) {
+			if cb, ok := ix.boxes[c]; ok {
+				box = box.Union(cb)
+			}
+		}
+		ix.boxes[id] = box
+	}
+}
+
+// SubtreeBox returns the bounding box of id's subtree; ok is false for
+// nodes absent at the last Rebuild.
+func (ix *Index) SubtreeBox(id topology.NodeID) (topology.Rect, bool) {
+	b, ok := ix.boxes[id]
+	return b, ok
+}
+
+// Position returns a node's static position.
+func (ix *Index) Position(id topology.NodeID) topology.Position {
+	return ix.pos(id)
+}

@@ -1,0 +1,86 @@
+package geo
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func posMap(positions map[topology.NodeID]topology.Position) func(topology.NodeID) topology.Position {
+	return func(id topology.NodeID) topology.Position { return positions[id] }
+}
+
+func buildTree(t *testing.T) (*topology.Tree, map[topology.NodeID]topology.Position) {
+	t.Helper()
+	tr := topology.NewTree(0)
+	for _, e := range [][2]topology.NodeID{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}} {
+		if err := tr.Attach(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos := map[topology.NodeID]topology.Position{
+		0: {X: 50, Y: 0},
+		1: {X: 20, Y: 20}, 3: {X: 10, Y: 40}, 4: {X: 30, Y: 45},
+		2: {X: 80, Y: 20}, 5: {X: 90, Y: 50},
+	}
+	return tr, pos
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	tr, pos := buildTree(t)
+	if _, err := NewIndex(nil, posMap(pos)); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := NewIndex(tr, nil); err == nil {
+		t.Fatal("nil pos accepted")
+	}
+}
+
+func TestSubtreeBoxes(t *testing.T) {
+	tr, pos := buildTree(t)
+	ix, err := NewIndex(tr, posMap(pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf box is its own point.
+	b3, ok := ix.SubtreeBox(3)
+	if !ok || b3 != topology.RectAround(pos[3]) {
+		t.Fatalf("leaf box %+v", b3)
+	}
+	// Node 1's box covers 1, 3, 4.
+	b1, _ := ix.SubtreeBox(1)
+	for _, id := range []topology.NodeID{1, 3, 4} {
+		if !b1.Contains(pos[id]) {
+			t.Fatalf("box of 1 %v misses node %d at %v", b1, id, pos[id])
+		}
+	}
+	if b1.Contains(pos[5]) {
+		t.Fatalf("box of 1 %v wrongly covers node 5", b1)
+	}
+	// Root box covers everything.
+	b0, _ := ix.SubtreeBox(0)
+	for id, p := range pos {
+		if !b0.Contains(p) {
+			t.Fatalf("root box misses node %d", id)
+		}
+	}
+}
+
+func TestRebuildAfterDetach(t *testing.T) {
+	tr, pos := buildTree(t)
+	ix, err := NewIndex(tr, posMap(pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Detach(2); err != nil {
+		t.Fatal(err)
+	}
+	ix.Rebuild(tr)
+	if _, ok := ix.SubtreeBox(2); ok {
+		t.Fatal("detached subtree still indexed")
+	}
+	b0, _ := ix.SubtreeBox(0)
+	if b0.Contains(pos[5]) {
+		t.Fatal("root box still covers detached node 5")
+	}
+}

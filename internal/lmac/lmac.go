@@ -1,0 +1,375 @@
+// Package lmac reproduces the behaviour DirQ needs from LMAC (van Hoesel &
+// Havinga, 2004): a TDMA MAC with a distributed, self-organizing schedule in
+// which every node owns one time slot per frame that is unique within its
+// two-hop neighborhood, plus the cross-layer interface of §4.2 of the DirQ
+// paper — notifications when a neighboring node dies or appears.
+//
+// One frame corresponds to one simulation epoch. During its slot a node
+// implicitly beacons (which carries neighborhood liveness, as LMAC's control
+// section does) and flushes its queued data messages. Beacons are not
+// metered: the paper's §5 cost model counts only query and update messages,
+// and MAC control overhead is identical for DirQ and flooding.
+package lmac
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// PrioApp and PrioMAC order same-epoch simulation events: application logic
+// (sensor acquisition, query injection) runs before the MAC frame, which
+// runs before end-of-epoch bookkeeping.
+const (
+	PrioApp     = 0
+	PrioMAC     = 10
+	PrioMetrics = 20
+)
+
+// DefaultDeadThreshold is the number of consecutive missed frames after
+// which a neighbor is declared dead.
+const DefaultDeadThreshold = 4
+
+// queuedMsg is one pending data transmission.
+type queuedMsg struct {
+	to        topology.NodeID // -1 for broadcast/multicast
+	targets   []topology.NodeID
+	class     radio.Class
+	msg       any
+	broadcast bool
+}
+
+// nodeState is the per-node MAC state.
+type nodeState struct {
+	id         topology.NodeID
+	slot       int
+	registered bool
+	queue      []queuedMsg
+	// neighbor liveness: last frame a beacon was heard, per neighbor.
+	lastHeard map[topology.NodeID]int64
+}
+
+// MAC is the link layer for the whole network. A single object manages all
+// nodes' MAC state; per-node behaviour remains strictly local (each node
+// only reads its own queue and neighbor table).
+type MAC struct {
+	engine  *sim.Engine
+	channel *radio.Channel
+	nodes   []nodeState
+	slots   int
+	frame   int64
+	started bool
+
+	deadThreshold int64
+
+	receivers []func(from topology.NodeID, msg any)
+	onDead    func(at topology.NodeID, dead topology.NodeID)
+	onNew     func(at topology.NodeID, fresh topology.NodeID)
+}
+
+// New builds a MAC over the channel's graph and assigns the TDMA schedule.
+// All nodes that are alive on the channel are registered immediately.
+func New(engine *sim.Engine, channel *radio.Channel) (*MAC, error) {
+	g := channel.Graph()
+	m := &MAC{
+		engine:        engine,
+		channel:       channel,
+		nodes:         make([]nodeState, g.Len()),
+		receivers:     make([]func(topology.NodeID, any), g.Len()),
+		deadThreshold: DefaultDeadThreshold,
+	}
+	slots, err := AssignSlots(g)
+	if err != nil {
+		return nil, err
+	}
+	maxSlot := 0
+	for i := range m.nodes {
+		m.nodes[i] = nodeState{
+			id:        topology.NodeID(i),
+			slot:      slots[i],
+			lastHeard: map[topology.NodeID]int64{},
+		}
+		if slots[i] > maxSlot {
+			maxSlot = slots[i]
+		}
+	}
+	m.slots = maxSlot + 1
+	for i := range m.nodes {
+		if channel.Alive(topology.NodeID(i)) {
+			m.register(topology.NodeID(i))
+		}
+	}
+	return m, nil
+}
+
+// register marks a node as MAC-active and primes its neighbor table with
+// its currently-live radio neighbors (LMAC learns these during its join
+// phase; we start post-convergence, as the paper's simulations do).
+func (m *MAC) register(id topology.NodeID) {
+	st := &m.nodes[id]
+	st.registered = true
+	st.lastHeard = map[topology.NodeID]int64{}
+	for _, nb := range m.channel.Graph().Neighbors(id) {
+		if m.channel.Alive(nb) {
+			// Primed as "heard just before this frame": a neighbor that
+			// stays silent in the current frame has missed one frame.
+			st.lastHeard[nb] = m.frame - 1
+		}
+	}
+}
+
+// Slots returns the frame length in slots.
+func (m *MAC) Slots() int { return m.slots }
+
+// Slot returns the slot owned by a node.
+func (m *MAC) Slot(id topology.NodeID) int { return m.nodes[id].slot }
+
+// Frame returns the number of completed frames.
+func (m *MAC) Frame() int64 { return m.frame }
+
+// SetDeadThreshold overrides the missed-frame count before a neighbor is
+// declared dead.
+func (m *MAC) SetDeadThreshold(frames int64) {
+	if frames < 1 {
+		panic("lmac: dead threshold must be >= 1")
+	}
+	m.deadThreshold = frames
+}
+
+// Listen registers the upper-layer receive handler for a node.
+func (m *MAC) Listen(id topology.NodeID, fn func(from topology.NodeID, msg any)) {
+	m.receivers[id] = fn
+}
+
+// OnNeighborDead registers the cross-layer callback fired at a node when one
+// of its neighbors is detected dead (§4.2: "When LMAC detects that a
+// neighboring node has died, it sends a notification to DirQ").
+func (m *MAC) OnNeighborDead(fn func(at, dead topology.NodeID)) { m.onDead = fn }
+
+// OnNeighborNew registers the callback fired at a node when a new neighbor
+// is heard for the first time.
+func (m *MAC) OnNeighborNew(fn func(at, fresh topology.NodeID)) { m.onNew = fn }
+
+// Neighbors returns the sorted live-neighbor view of a node's MAC table.
+func (m *MAC) Neighbors(id topology.NodeID) []topology.NodeID {
+	st := &m.nodes[id]
+	out := make([]topology.NodeID, 0, len(st.lastHeard))
+	for nb := range st.lastHeard {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Unicast queues a data message for transmission to a radio neighbor in the
+// sender's next slot.
+func (m *MAC) Unicast(from, to topology.NodeID, class radio.Class, msg any) {
+	st := &m.nodes[from]
+	st.queue = append(st.queue, queuedMsg{to: to, class: class, msg: msg})
+}
+
+// Broadcast queues a data message for transmission to all radio neighbors
+// in the sender's next slot.
+func (m *MAC) Broadcast(from topology.NodeID, class radio.Class, msg any) {
+	st := &m.nodes[from]
+	st.queue = append(st.queue, queuedMsg{to: -1, broadcast: true, class: class, msg: msg})
+}
+
+// Multicast queues a data message addressed to a specific set of radio
+// neighbors; it is sent as one transmission in the sender's next slot.
+func (m *MAC) Multicast(from topology.NodeID, targets []topology.NodeID, class radio.Class, msg any) {
+	if len(targets) == 0 {
+		return
+	}
+	st := &m.nodes[from]
+	st.queue = append(st.queue, queuedMsg{
+		to: -1, targets: append([]topology.NodeID(nil), targets...),
+		class: class, msg: msg,
+	})
+}
+
+// QueueLen reports the number of messages pending at a node.
+func (m *MAC) QueueLen(id topology.NodeID) int { return len(m.nodes[id].queue) }
+
+// Start schedules frame processing at every tick beginning at the engine's
+// current time. Call once.
+func (m *MAC) Start() {
+	if m.started {
+		panic("lmac: Start called twice")
+	}
+	m.started = true
+	var tick func()
+	tick = func() {
+		m.RunFrame()
+		m.engine.SchedulePrio(m.engine.Now()+1, PrioMAC, tick)
+	}
+	m.engine.SchedulePrio(m.engine.Now(), PrioMAC, tick)
+}
+
+// RunFrame executes one complete TDMA frame: every registered live node, in
+// slot order, beacons and flushes its queue; afterwards liveness tables are
+// updated and death/new-neighbor notifications fire.
+func (m *MAC) RunFrame() {
+	// Build the slot order: nodes sorted by (slot, id) for determinism.
+	order := make([]topology.NodeID, 0, len(m.nodes))
+	for i := range m.nodes {
+		if m.nodes[i].registered && m.channel.Alive(topology.NodeID(i)) {
+			order = append(order, topology.NodeID(i))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &m.nodes[order[i]], &m.nodes[order[j]]
+		if a.slot != b.slot {
+			return a.slot < b.slot
+		}
+		return a.id < b.id
+	})
+
+	for _, id := range order {
+		st := &m.nodes[id]
+		if !m.channel.Alive(id) {
+			continue // died earlier within this very frame
+		}
+		// Beacon: every live radio neighbor hears us (un-metered control).
+		for _, nb := range m.channel.Graph().Neighbors(id) {
+			if !m.channel.Alive(nb) || !m.nodes[nb].registered {
+				continue
+			}
+			nbSt := &m.nodes[nb]
+			if _, known := nbSt.lastHeard[id]; !known && m.onNew != nil {
+				nbSt.lastHeard[id] = m.frame
+				m.onNew(nb, id)
+			} else {
+				nbSt.lastHeard[id] = m.frame
+			}
+		}
+		// Flush the data queue as it stood at the start of our slot;
+		// messages enqueued by our own deliveries wait for the next slot.
+		pending := st.queue
+		st.queue = nil
+		for _, qm := range pending {
+			switch {
+			case qm.broadcast:
+				m.channel.Broadcast(id, qm.class, qm.msg)
+			case qm.targets != nil:
+				m.channel.Multicast(id, qm.targets, qm.class, qm.msg)
+			default:
+				m.channel.Unicast(id, qm.to, qm.class, qm.msg)
+			}
+		}
+	}
+
+	// Post-frame liveness sweep.
+	for i := range m.nodes {
+		st := &m.nodes[i]
+		if !st.registered || !m.channel.Alive(topology.NodeID(i)) {
+			continue
+		}
+		for nb, last := range st.lastHeard {
+			if m.frame-last >= m.deadThreshold {
+				delete(st.lastHeard, nb)
+				if m.onDead != nil {
+					m.onDead(topology.NodeID(i), nb)
+				}
+			}
+		}
+	}
+	m.frame++
+}
+
+// installListener wires the channel's receiver for a node to the MAC's
+// upper-layer handler table.
+func (m *MAC) installListener(id topology.NodeID) {
+	m.channel.Listen(id, func(from topology.NodeID, msg any) {
+		if r := m.receivers[id]; r != nil {
+			r(from, msg)
+		}
+	})
+}
+
+// Kill powers a node off: it stops beaconing and transmitting immediately.
+// Neighbors will detect the death after the dead-threshold elapses.
+func (m *MAC) Kill(id topology.NodeID) {
+	if id == topology.Root {
+		panic("lmac: killing the root/sink is not modelled")
+	}
+	m.channel.SetAlive(id, false)
+	m.nodes[id].queue = nil
+	m.nodes[id].registered = false
+}
+
+// Join powers on a (previously dead or never-started) node. Its slot was
+// pre-assigned by the global schedule; its neighbors will fire
+// OnNeighborNew when they first hear its beacon.
+func (m *MAC) Join(id topology.NodeID) {
+	m.channel.SetAlive(id, true)
+	m.register(id)
+	m.installListener(id)
+}
+
+// AssignSlots computes a TDMA schedule in which no two nodes within two hops
+// of each other share a slot — the LMAC property that makes slots
+// collision-free at every receiver. Nodes pick the lowest free slot in
+// BFS-from-root order, mirroring LMAC's gateway-outward wave of slot
+// adoption. It returns the slot per node.
+func AssignSlots(g *topology.Graph) ([]int, error) {
+	n := g.Len()
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = -1
+	}
+	if n == 0 {
+		return slots, nil
+	}
+	order := g.ReachableFrom(topology.Root)
+	if len(order) != n {
+		return nil, fmt.Errorf("lmac: graph is not connected (%d of %d reachable)", len(order), n)
+	}
+	for _, id := range order {
+		used := map[int]bool{}
+		for _, nb := range g.Neighbors(id) {
+			if slots[nb] >= 0 {
+				used[slots[nb]] = true
+			}
+			for _, nb2 := range g.Neighbors(nb) {
+				if nb2 != id && slots[nb2] >= 0 {
+					used[slots[nb2]] = true
+				}
+			}
+		}
+		s := 0
+		for used[s] {
+			s++
+		}
+		slots[id] = s
+	}
+	return slots, nil
+}
+
+// VerifySlots checks the two-hop uniqueness property of a slot assignment.
+func VerifySlots(g *topology.Graph, slots []int) error {
+	for id := 0; id < g.Len(); id++ {
+		for _, nb := range g.Neighbors(topology.NodeID(id)) {
+			if slots[id] == slots[nb] {
+				return fmt.Errorf("lmac: 1-hop slot clash between %d and %d (slot %d)", id, nb, slots[id])
+			}
+			for _, nb2 := range g.Neighbors(nb) {
+				if int(nb2) != id && slots[id] == slots[nb2] {
+					return fmt.Errorf("lmac: 2-hop slot clash between %d and %d (slot %d)", id, nb2, slots[id])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Init wires the channel listeners for all nodes. Call after constructing
+// the MAC and registering upper-layer receivers.
+func (m *MAC) Init() {
+	for i := range m.nodes {
+		m.installListener(topology.NodeID(i))
+	}
+}

@@ -1,0 +1,233 @@
+// Package query defines the one-shot range queries users inject into the
+// network (§3: "Acquire all temperature readings that are currently between
+// 22°C and 25°C"), the ground-truth resolver that determines which nodes a
+// query *should* reach, a workload generator that targets the paper's
+// 20/40/60 % node-involvement levels, and the root-side predictor of hourly
+// query counts that feeds the EHr estimate broadcasts.
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/sensordata"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Query is a one-shot range query over one sensor type.
+type Query struct {
+	ID   int64
+	Type sensordata.Type
+	Lo   float64
+	Hi   float64
+}
+
+// Matches reports whether a sensor value satisfies the query range.
+func (q Query) Matches(v float64) bool { return v >= q.Lo && v <= q.Hi }
+
+// String renders the query in the paper's style.
+func (q Query) String() string {
+	return fmt.Sprintf("q%d: %s in [%.2f, %.2f]", q.ID, q.Type, q.Lo, q.Hi)
+}
+
+// GroundTruth captures which nodes are relevant to a query given perfectly
+// fresh information: the source nodes (mounted sensor of the right type,
+// current reading inside the range) and the full "should receive" set —
+// sources plus every intermediate forwarding node on the tree paths from
+// the root to the sources (§7.1's definition). The root itself, being the
+// injector, is in neither set.
+type GroundTruth struct {
+	Sources []topology.NodeID
+	Should  map[topology.NodeID]bool
+}
+
+// InvolvedFraction returns |Should| / (N-1): the fraction of non-root nodes
+// involved in servicing the query — the paper's "percentage of nodes
+// involved in responding to a query".
+func (gt GroundTruth) InvolvedFraction(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(len(gt.Should)) / float64(n-1)
+}
+
+// Resolve computes the ground truth of q over the current data. mounted
+// reports each node's sensor complement; value returns the node's current
+// true reading for the query's type.
+func Resolve(q Query, tree *topology.Tree, mounted []sensordata.TypeSet,
+	value func(topology.NodeID) float64) GroundTruth {
+
+	gt := GroundTruth{Should: map[topology.NodeID]bool{}}
+	for _, id := range tree.Nodes() {
+		if id == tree.Root() {
+			continue
+		}
+		if !mounted[id].Has(q.Type) {
+			continue
+		}
+		if q.Matches(value(id)) {
+			gt.Sources = append(gt.Sources, id)
+			for _, hop := range tree.PathToRoot(id) {
+				if hop != tree.Root() {
+					gt.Should[hop] = true
+				}
+			}
+		}
+	}
+	return gt
+}
+
+// Workload generates random range queries whose ground-truth involvement is
+// as close as possible to a target fraction of the network (§7: "Random
+// queries which covered 20%, 40% and 60% of the nodes"). The value window
+// is centred on a randomly chosen live node's current reading and its width
+// is binary-searched: involvement grows monotonically with width.
+type Workload struct {
+	target  float64
+	rng     *sim.RNG
+	nextID  int64
+	typeSeq int
+}
+
+// NewWorkload creates a workload generator targeting the given involved-
+// node fraction (0 < target <= 1).
+func NewWorkload(target float64, rng *sim.RNG) (*Workload, error) {
+	if target <= 0 || target > 1 {
+		return nil, fmt.Errorf("query: target coverage %v outside (0,1]", target)
+	}
+	return &Workload{target: target, rng: rng}, nil
+}
+
+// Target returns the configured involvement fraction.
+func (w *Workload) Target() float64 { return w.target }
+
+// Next produces the next query against the current state of the dataset.
+// Sensor types rotate round-robin so all four types are exercised. The
+// returned ground truth is the query's at generation time.
+func (w *Workload) Next(gen *sensordata.Generator, tree *topology.Tree,
+	mounted []sensordata.TypeSet) (Query, GroundTruth) {
+
+	qt := sensordata.AllTypes()[w.typeSeq%int(sensordata.NumTypes)]
+	w.typeSeq++
+
+	value := func(id topology.NodeID) float64 { return gen.Value(id, qt) }
+
+	// Centre the window on a random node that actually mounts this type.
+	var candidates []topology.NodeID
+	for _, id := range tree.Nodes() {
+		if id != tree.Root() && mounted[id].Has(qt) {
+			candidates = append(candidates, id)
+		}
+	}
+	q := Query{ID: w.nextID, Type: qt}
+	w.nextID++
+	if len(candidates) == 0 {
+		// No node carries this type: emit an unsatisfiable query.
+		lo, _ := qt.Span()
+		q.Lo, q.Hi = lo, lo
+		return q, Resolve(q, tree, mounted, value)
+	}
+	centre := value(candidates[w.rng.Intn(len(candidates))])
+
+	// Binary search the half-width for the target involvement.
+	span := qt.SpanWidth()
+	n := tree.Len()
+	loW, hiW := 0.0, span
+	var best Query
+	var bestGT GroundTruth
+	bestErr := 2.0
+	for iter := 0; iter < 24; iter++ {
+		mid := (loW + hiW) / 2
+		cand := Query{ID: q.ID, Type: qt, Lo: centre - mid, Hi: centre + mid}
+		gt := Resolve(cand, tree, mounted, value)
+		frac := gt.InvolvedFraction(n)
+		if e := abs(frac - w.target); e < bestErr {
+			bestErr = e
+			best = cand
+			bestGT = gt
+		}
+		if frac < w.target {
+			loW = mid
+		} else {
+			hiW = mid
+		}
+	}
+	return best, bestGT
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Predictor forecasts the number of queries in the next hour from history,
+// standing in for the paper's web-server-style access predictor [10]. It is
+// an EWMA over completed hours with a configurable smoothing factor.
+type Predictor struct {
+	alpha    float64
+	estimate float64
+	seeded   bool
+	current  int
+}
+
+// NewPredictor returns a predictor with smoothing factor alpha in (0, 1].
+func NewPredictor(alpha float64) (*Predictor, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("query: predictor alpha %v outside (0,1]", alpha)
+	}
+	return &Predictor{alpha: alpha}, nil
+}
+
+// Observe records one injected query in the current hour.
+func (p *Predictor) Observe() { p.current++ }
+
+// EndHour closes the current hour and folds its count into the forecast.
+func (p *Predictor) EndHour() {
+	c := float64(p.current)
+	p.current = 0
+	if !p.seeded {
+		p.seeded = true
+		p.estimate = c
+		return
+	}
+	p.estimate = (1-p.alpha)*p.estimate + p.alpha*c
+}
+
+// PredictNextHour returns the forecast query count for the next hour,
+// rounded to the nearest integer and never negative. Before any completed
+// hour the forecast is zero.
+func (p *Predictor) PredictNextHour() int {
+	if p.estimate < 0 {
+		return 0
+	}
+	return int(p.estimate + 0.5)
+}
+
+// ResolveGeo computes the ground truth of a location-constrained query:
+// sources must additionally lie inside rect. The forwarding closure is the
+// tree paths to those sources, as for plain queries.
+func ResolveGeo(q Query, rect topology.Rect, tree *topology.Tree,
+	mounted []sensordata.TypeSet, value func(topology.NodeID) float64,
+	pos func(topology.NodeID) topology.Position) GroundTruth {
+
+	gt := GroundTruth{Should: map[topology.NodeID]bool{}}
+	for _, id := range tree.Nodes() {
+		if id == tree.Root() || !mounted[id].Has(q.Type) {
+			continue
+		}
+		if !rect.Contains(pos(id)) {
+			continue
+		}
+		if q.Matches(value(id)) {
+			gt.Sources = append(gt.Sources, id)
+			for _, hop := range tree.PathToRoot(id) {
+				if hop != tree.Root() {
+					gt.Should[hop] = true
+				}
+			}
+		}
+	}
+	return gt
+}

@@ -1,0 +1,603 @@
+// Package scenario assembles a complete, reproducible DirQ simulation from
+// one Config: topology placement, spanning tree, LMAC, synthetic dataset,
+// the DirQ protocol with either fixed-δ or ATC threshold control, a
+// coverage-targeted query workload, and the flooding-baseline cost
+// accounting the paper compares against.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/atc"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/flood"
+	"repro/internal/lmac"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/radio"
+	"repro/internal/sampling"
+	"repro/internal/sensordata"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// ThresholdMode selects how nodes pick δ.
+type ThresholdMode int
+
+// Threshold modes.
+const (
+	// FixedDelta uses Config.FixedPct on every node (§7.1).
+	FixedDelta ThresholdMode = iota
+	// ATC uses the Adaptive Threshold Control of §6.
+	ATC
+	// StaticIndex freezes all range updates after the warm-up phase — the
+	// Semantic Routing Tree baseline of §2, suited only to constant
+	// attributes. Queries keep routing on the stale index.
+	StaticIndex
+)
+
+// String names the mode.
+func (m ThresholdMode) String() string {
+	switch m {
+	case FixedDelta:
+		return "fixed"
+	case ATC:
+		return "atc"
+	case StaticIndex:
+		return "static"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config fully parameterizes one simulation run.
+type Config struct {
+	Seed uint64
+
+	// Topology (§7: 50 nodes including one root, k=8, d=10).
+	NumNodes   int
+	Width      float64
+	Height     float64
+	RadioRange float64
+	MaxFanout  int // the paper's k
+	MaxDepth   int // the paper's d
+
+	// Timing (§7: one reading per epoch for 20 000 epochs, a query every
+	// 20 epochs).
+	Epochs        int64
+	QueryInterval int64
+	EpochsPerHour int
+
+	// LoadPhases optionally varies the query injection rate over the run —
+	// the "extrinsic" dynamism of §1. Each phase applies its interval until
+	// its end epoch; after the last phase QueryInterval applies again.
+	// Phases must be ordered by Until and have positive intervals.
+	LoadPhases []LoadPhase
+
+	// Workload: target fraction of nodes involved per query (0.2/0.4/0.6).
+	Coverage float64
+
+	// Threshold control.
+	Mode     ThresholdMode
+	FixedPct float64 // δ for FixedDelta mode, in percent of span
+	// Rho is the fraction of the flooding-cost headroom the ATC budgets
+	// for Update Messages. Query dissemination itself costs roughly
+	// 10-15 % of flooding, so ρ=0.4 lands the paper's 45-55 % total-cost
+	// band (§6).
+	Rho float64
+	// ATCFeedbackOff disables the controller's multiplicative feedback,
+	// leaving only the volatility feedforward (an ablation knob).
+	ATCFeedbackOff bool
+
+	// Heterogeneous mounts each sensor type with probability TypeProb
+	// instead of giving every node all four types.
+	Heterogeneous bool
+	TypeProb      float64
+
+	// PacketLoss enables Bernoulli reception loss (0 = lossless).
+	PacketLoss float64
+
+	// PredictiveSampling enables the §8 extension: nodes skip physical
+	// sensor acquisitions whenever a per-node forecaster proves the reading
+	// could not have changed the range table.
+	PredictiveSampling bool
+
+	// EnergyCapacity, when positive, attaches a battery of that many units
+	// to every non-root node (energy.DefaultModel proportions). Nodes that
+	// deplete are powered off through the cross-layer path, and the Result
+	// reports lifetime statistics.
+	EnergyCapacity float64
+
+	// DisseminateByFlooding replaces directed dissemination with the §5.1
+	// baseline: every query floods the whole network. Range updates are
+	// suppressed (δ is effectively infinite). Used for lifetime and cost
+	// comparisons against the same workload.
+	DisseminateByFlooding bool
+
+	// TraceCapacity, when positive, records the most recent protocol
+	// events (updates, deliveries, deaths, re-attachments) into a ring
+	// buffer exposed as Runner.Trace.
+	TraceCapacity int
+
+	// BucketEpochs is the reporting bucket width (Fig. 6/7 use 100).
+	BucketEpochs int64
+
+	// WarmupEpochs delays the first query so initial range reports can
+	// climb the tree.
+	WarmupEpochs int64
+}
+
+// LoadPhase is one segment of a time-varying query workload.
+type LoadPhase struct {
+	// Until is the exclusive end epoch of the phase.
+	Until int64
+	// Interval is the epochs between query injections during the phase.
+	Interval int64
+}
+
+// intervalAt returns the injection interval in force at the given epoch.
+func (c Config) intervalAt(epoch int64) int64 {
+	for _, ph := range c.LoadPhases {
+		if epoch < ph.Until {
+			return ph.Interval
+		}
+	}
+	return c.QueryInterval
+}
+
+// Default returns the paper's §7 configuration with the given threshold
+// mode and coverage.
+func Default() Config {
+	return Config{
+		Seed:          1,
+		NumNodes:      50,
+		Width:         100,
+		Height:        100,
+		RadioRange:    25,
+		MaxFanout:     8,
+		MaxDepth:      10,
+		Epochs:        20000,
+		QueryInterval: 20,
+		EpochsPerHour: 100,
+		Coverage:      0.4,
+		Mode:          FixedDelta,
+		FixedPct:      5,
+		Rho:           0.4,
+		TypeProb:      0.6,
+		BucketEpochs:  100,
+		WarmupEpochs:  40,
+	}
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	if c.NumNodes < 2 {
+		return fmt.Errorf("scenario: NumNodes %d < 2", c.NumNodes)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("scenario: Epochs %d < 1", c.Epochs)
+	}
+	if c.QueryInterval < 1 {
+		return fmt.Errorf("scenario: QueryInterval %d < 1", c.QueryInterval)
+	}
+	if c.EpochsPerHour < 1 {
+		return fmt.Errorf("scenario: EpochsPerHour %d < 1", c.EpochsPerHour)
+	}
+	if c.Coverage <= 0 || c.Coverage > 1 {
+		return fmt.Errorf("scenario: Coverage %v outside (0,1]", c.Coverage)
+	}
+	if c.Mode == FixedDelta && c.FixedPct < 0 {
+		return fmt.Errorf("scenario: negative FixedPct %v", c.FixedPct)
+	}
+	if c.Mode == ATC && (c.Rho <= 0 || c.Rho > 1) {
+		return fmt.Errorf("scenario: Rho %v outside (0,1]", c.Rho)
+	}
+	if c.BucketEpochs < 1 {
+		return fmt.Errorf("scenario: BucketEpochs %d < 1", c.BucketEpochs)
+	}
+	if c.PacketLoss < 0 || c.PacketLoss >= 1 {
+		return fmt.Errorf("scenario: PacketLoss %v outside [0,1)", c.PacketLoss)
+	}
+	prev := int64(0)
+	for i, ph := range c.LoadPhases {
+		if ph.Interval < 1 {
+			return fmt.Errorf("scenario: load phase %d interval %d < 1", i, ph.Interval)
+		}
+		if ph.Until <= prev {
+			return fmt.Errorf("scenario: load phase %d end %d not increasing", i, ph.Until)
+		}
+		prev = ph.Until
+	}
+	return nil
+}
+
+// Result carries everything the experiments need from one run.
+type Result struct {
+	Config Config
+
+	// Accuracies holds one entry per injected query, in injection order.
+	Accuracies []metrics.Accuracy
+	// Summary aggregates the accuracies (Fig. 5 quantities).
+	Summary metrics.AccuracySummary
+
+	// UpdateTxPerBucket is the number of Update Messages transmitted in
+	// each BucketEpochs-wide interval (Fig. 6's y-axis).
+	UpdateTxPerBucket []float64
+	// OvershootPerBucket is the mean per-query overshoot %% per bucket
+	// (Fig. 7's y-axis).
+	OvershootPerBucket []metrics.Bucket
+	// DeltaPctPerBucket is the network-mean δ sampled at each bucket end.
+	DeltaPctPerBucket []float64
+
+	// Costs (paper unit model: 1 per tx, 1 per rx).
+	QueryCost    radio.Cost // directed dissemination
+	UpdateCost   radio.Cost // Update Messages
+	EstimateCost radio.Cost // hourly EHr distribution
+	FloodCost    int64      // what flooding the same queries would have cost
+	// CostFraction is (QueryCost+UpdateCost)/FloodCost — the paper's
+	// headline "45% to 55% the cost of flooding".
+	CostFraction float64
+
+	// UmaxPerHour is Fig. 6's reference level for the realized query rate.
+	UmaxPerHour float64
+
+	// QueriesInjected counts queries.
+	QueriesInjected int
+	// Sampling reports acquisition counts when PredictiveSampling is on.
+	Sampling sampling.Stats
+	// EHrSeries is the root's hourly query-count forecast over the run.
+	EHrSeries []int
+	// FirstDeathEpoch is the epoch of the first battery depletion (-1 if
+	// none, or if EnergyCapacity is 0).
+	FirstDeathEpoch int64
+	// DeadAtEnd counts depleted nodes at the end of the run.
+	DeadAtEnd int
+	// TreeDepth and TreeInternal describe the deployed tree.
+	TreeDepth    int
+	TreeInternal int
+}
+
+// Runner holds a fully built simulation, exposed so tests and examples can
+// poke at intermediate state. Create with Build, run with Run.
+type Runner struct {
+	Cfg     Config
+	Engine  *sim.Engine
+	Graph   *topology.Graph
+	Tree    *topology.Tree
+	Channel *radio.Channel
+	Meter   *radio.Meter
+	MAC     *lmac.MAC
+	Gen     *sensordata.Generator
+	Mounted []sensordata.TypeSet
+	Proto   *core.Protocol
+	Params  atc.NetworkParams
+
+	Trace *trace.Recorder
+
+	gate       *sampling.Gate
+	bank       *energy.Bank
+	prevCosts  []radio.Cost
+	firstDeath int64
+	workload   *query.Workload
+	records    []*core.QueryRecord
+	updates    *metrics.Series
+	deltas     *metrics.Series
+	flooded    int64
+	queries    int
+	lastTx     int64
+}
+
+// Build constructs the simulation without running it.
+func Build(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(cfg.Seed)
+
+	g, err := topology.PlaceRandom(topology.PlacementConfig{
+		N: cfg.NumNodes, Width: cfg.Width, Height: cfg.Height, RadioRange: cfg.RadioRange,
+	}, rng.Stream("place"))
+	if err != nil {
+		return nil, err
+	}
+	tree, err := topology.BuildSpanningTree(g, topology.Root, cfg.MaxFanout, cfg.MaxDepth)
+	if err != nil {
+		return nil, err
+	}
+
+	internal := 0
+	for _, id := range tree.Nodes() {
+		if len(tree.Children(id)) > 0 {
+			internal++
+		}
+	}
+	params := atc.NetworkParams{N: g.Len(), Internal: internal, Links: g.EdgeCount()}
+
+	engine := sim.NewEngine()
+	meter := radio.NewMeter(g.Len())
+	channel := radio.NewChannel(g, meter)
+	if cfg.PacketLoss > 0 {
+		channel.SetLoss(cfg.PacketLoss, rng.Stream("loss"))
+	}
+	mac, err := lmac.New(engine, channel)
+	if err != nil {
+		return nil, err
+	}
+
+	pos := make([]topology.Position, g.Len())
+	for i := range pos {
+		pos[i] = g.Pos(topology.NodeID(i))
+	}
+	gen := sensordata.NewGenerator(pos, rng.Stream("data"))
+
+	var mounted []sensordata.TypeSet
+	if cfg.Heterogeneous {
+		mounted = sensordata.AssignTypes(g.Len(), cfg.TypeProb, rng.Stream("types"))
+	} else {
+		mounted = sensordata.AssignAllTypes(g.Len())
+	}
+
+	pcfg := core.Config{
+		EpochsPerHour: cfg.EpochsPerHour,
+		MaxFanout:     cfg.MaxFanout,
+		MaxDepth:      cfg.MaxDepth,
+	}
+	var gate *sampling.Gate
+	if cfg.PredictiveSampling {
+		gate, err = sampling.NewGate(sampling.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		pcfg.Sampler = gate
+	}
+	switch {
+	case cfg.DisseminateByFlooding:
+		// No DirQ: suppress update traffic with an effectively infinite
+		// threshold (only the one-off initial table reports remain).
+		pcfg.Controllers = func(topology.NodeID) core.Controller {
+			return &core.FixedController{Pct: 1e9}
+		}
+	case cfg.Mode == FixedDelta:
+		pct := cfg.FixedPct
+		pcfg.Controllers = func(topology.NodeID) core.Controller {
+			return &core.FixedController{Pct: pct}
+		}
+	case cfg.Mode == StaticIndex:
+		pct := cfg.FixedPct
+		after := int(cfg.WarmupEpochs)
+		pcfg.Controllers = func(topology.NodeID) core.Controller {
+			return &core.FreezeController{Pct: pct, AfterEpochs: after}
+		}
+	case cfg.Mode == ATC:
+		acfg := atc.DefaultConfig(cfg.EpochsPerHour)
+		if cfg.ATCFeedbackOff {
+			acfg.FeedbackGamma = 0
+		}
+		pcfg.Controllers = func(topology.NodeID) core.Controller {
+			c, cerr := atc.NewController(acfg)
+			if cerr != nil {
+				panic(cerr) // static config, validated above
+			}
+			return c
+		}
+		bf, berr := atc.BudgetFunc(params, cfg.Rho)
+		if berr != nil {
+			return nil, berr
+		}
+		pcfg.Budget = bf
+	default:
+		return nil, fmt.Errorf("scenario: unknown threshold mode %d", cfg.Mode)
+	}
+	var bank *energy.Bank
+	if cfg.EnergyCapacity > 0 {
+		bank, err = energy.NewBank(g.Len(), energy.DefaultModel(cfg.EnergyCapacity))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rec *trace.Recorder
+	if cfg.TraceCapacity > 0 {
+		rec, err = trace.NewRecorder(cfg.TraceCapacity)
+		if err != nil {
+			return nil, err
+		}
+		pcfg.Trace = rec.Hook(engine)
+	}
+
+	proto, err := core.New(engine, mac, channel, tree, gen, mounted, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := query.NewWorkload(cfg.Coverage, rng.Stream("workload"))
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Cfg: cfg, Engine: engine, Graph: g, Tree: tree, Channel: channel,
+		Meter: meter, MAC: mac, Gen: gen, Mounted: mounted, Proto: proto,
+		Params:     params,
+		Trace:      rec,
+		gate:       gate,
+		bank:       bank,
+		firstDeath: -1,
+		workload:   wl,
+		updates:    metrics.NewSeries(cfg.BucketEpochs),
+		deltas:     metrics.NewSeries(cfg.BucketEpochs),
+	}, nil
+}
+
+// Run executes the configured number of epochs and produces the Result.
+func (r *Runner) Run() *Result {
+	cfg := r.Cfg
+	r.Proto.Start()
+	r.MAC.Start()
+
+	// Query injections: every QueryInterval epochs after warm-up, at
+	// application priority but after the epoch's sensor acquisition
+	// (priority +1 keeps it within the same tick, after readings).
+	var inject func()
+	inject = func() {
+		now := r.Engine.Now()
+		q, truth := r.workload.Next(r.Gen, r.Tree, r.Mounted)
+		if cfg.DisseminateByFlooding {
+			fr := flood.Disseminate(r.Channel, topology.Root, core.QueryMsg{Q: q})
+			rec := &core.QueryRecord{
+				Query: q, Truth: truth, InjectedAt: now,
+				Received: map[topology.NodeID]bool{},
+				Sources:  map[topology.NodeID]bool{},
+			}
+			for _, id := range fr.Reached {
+				if id != topology.Root {
+					rec.Received[id] = true
+				}
+			}
+			for _, src := range truth.Sources {
+				if rec.Received[src] {
+					rec.Sources[src] = true
+				}
+			}
+			r.records = append(r.records, rec)
+		} else {
+			rec := r.Proto.InjectQuery(q, truth)
+			r.records = append(r.records, rec)
+		}
+		r.queries++
+		r.flooded += flood.CostOnly(r.Graph, r.Channel.Alive, topology.Root).Total()
+		next := now + sim.Time(cfg.intervalAt(int64(now)))
+		if int64(next) < cfg.Epochs {
+			r.Engine.SchedulePrio(next, lmac.PrioApp+1, inject)
+		}
+	}
+	first := sim.Time(cfg.WarmupEpochs)
+	if first == 0 {
+		first = sim.Time(cfg.QueryInterval)
+	}
+	if int64(first) < cfg.Epochs {
+		r.Engine.SchedulePrio(first, lmac.PrioApp+1, inject)
+	}
+
+	// Per-bucket sampling of update traffic and mean δ, at end-of-epoch
+	// priority on the last epoch of each bucket.
+	var sample func()
+	sample = func() {
+		now := r.Engine.Now()
+		tx := r.Meter.ByClass(radio.ClassUpdate).Tx
+		r.updates.Add(int64(now), float64(tx-r.lastTx))
+		r.lastTx = tx
+		var dsum float64
+		var dcnt int
+		for _, id := range r.Tree.Nodes() {
+			if id == topology.Root {
+				continue
+			}
+			dsum += r.Proto.Node(id).DeltaPct()
+			dcnt++
+		}
+		if dcnt > 0 {
+			r.deltas.Add(int64(now), dsum/float64(dcnt))
+		}
+		next := now + sim.Time(cfg.BucketEpochs)
+		if int64(next) <= cfg.Epochs {
+			r.Engine.SchedulePrio(next, lmac.PrioMetrics, sample)
+		}
+	}
+	r.Engine.SchedulePrio(sim.Time(cfg.BucketEpochs-1), lmac.PrioMetrics, sample)
+
+	if r.bank != nil {
+		r.bank.OnDeath(func(id topology.NodeID) {
+			if r.firstDeath < 0 {
+				r.firstDeath = int64(r.Engine.Now())
+			}
+			if r.Tree.Contains(id) {
+				r.Proto.KillNode(id)
+			}
+		})
+		var energyTick func()
+		energyTick = func() {
+			r.bank.DrainIdleEpoch()
+			for _, id := range r.Tree.Nodes() {
+				if id == topology.Root || !r.Channel.Alive(id) {
+					continue
+				}
+				for range r.Mounted[id].Types() {
+					r.bank.DrainSample(id)
+				}
+			}
+			r.prevCosts = r.bank.ApplyMeterDelta(r.Meter, r.prevCosts)
+			next := r.Engine.Now() + 1
+			if int64(next) < cfg.Epochs {
+				r.Engine.SchedulePrio(next, lmac.PrioMetrics, energyTick)
+			}
+		}
+		r.Engine.SchedulePrio(0, lmac.PrioMetrics, energyTick)
+	}
+
+	r.Engine.RunUntil(sim.Time(cfg.Epochs))
+	return r.collect()
+}
+
+// collect evaluates all query records and assembles the Result.
+func (r *Runner) collect() *Result {
+	cfg := r.Cfg
+	res := &Result{
+		Config:          cfg,
+		QueriesInjected: r.queries,
+		QueryCost:       r.Meter.ByClass(radio.ClassQuery),
+		UpdateCost:      r.Meter.ByClass(radio.ClassUpdate),
+		EstimateCost:    r.Meter.ByClass(radio.ClassEstimate),
+		FloodCost:       r.flooded,
+		TreeDepth:       r.Tree.MaxDepth(),
+		TreeInternal:    r.Params.Internal,
+	}
+
+	overshoot := metrics.NewSeries(cfg.BucketEpochs)
+	for _, rec := range r.records {
+		a := metrics.Eval(rec, r.Graph.Len())
+		res.Accuracies = append(res.Accuracies, a)
+		overshoot.Add(int64(rec.InjectedAt), a.OvershootPct)
+	}
+	res.Summary = metrics.Summarize(res.Accuracies, r.Graph.Len())
+	res.UpdateTxPerBucket = r.updates.Sums()
+	res.OvershootPerBucket = overshoot.Buckets()
+	res.DeltaPctPerBucket = r.deltas.Sums()
+
+	if res.FloodCost > 0 {
+		res.CostFraction = float64(res.QueryCost.Total()+res.UpdateCost.Total()) /
+			float64(res.FloodCost)
+	}
+	qph := 0
+	if cfg.QueryInterval > 0 {
+		qph = int(float64(cfg.EpochsPerHour) / float64(cfg.QueryInterval))
+	}
+	res.UmaxPerHour = r.Params.UmaxPerHour(qph)
+	if r.gate != nil {
+		res.Sampling = r.gate.Stats()
+	}
+	for _, e := range r.Proto.EstimatesEmitted() {
+		res.EHrSeries = append(res.EHrSeries, e.QueriesPerHr)
+	}
+	res.FirstDeathEpoch = r.firstDeath
+	if r.bank != nil {
+		res.DeadAtEnd = r.Graph.Len() - r.bank.LiveCount()
+	}
+	if cfg.DisseminateByFlooding {
+		// In flooding mode the dissemination cost lives under ClassFlood.
+		res.QueryCost = r.Meter.ByClass(radio.ClassFlood)
+		if res.FloodCost > 0 {
+			res.CostFraction = float64(res.QueryCost.Total()+res.UpdateCost.Total()) /
+				float64(res.FloodCost)
+		}
+	}
+	return res
+}
+
+// Run builds and runs a scenario in one call.
+func Run(cfg Config) (*Result, error) {
+	r, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(), nil
+}

@@ -1,0 +1,429 @@
+// Package sensordata generates the synthetic environmental dataset the
+// paper's evaluation uses: "A synthetic dataset with 4 sensor types has been
+// generated where sensor values of nodes located close to one another are
+// spatially related. The generated sensor data is also related in the
+// temporal dimension." (§7)
+//
+// Values are produced by a smooth physical field per sensor type — a base
+// level, a diurnal sinusoid, and a set of Gaussian "plumes" whose centres
+// random-walk across the deployment area — plus small per-node AR(1) noise.
+// Nearby nodes therefore see similar values (spatial correlation) and each
+// node's series evolves smoothly (temporal correlation).
+package sensordata
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Type identifies one of the four sensor types in the evaluation.
+type Type int
+
+// The four sensor types.
+const (
+	Temperature Type = iota
+	Humidity
+	Light
+	SoilMoisture
+	NumTypes
+)
+
+// String returns the sensor type name.
+func (t Type) String() string {
+	switch t {
+	case Temperature:
+		return "temperature"
+	case Humidity:
+		return "humidity"
+	case Light:
+		return "light"
+	case SoilMoisture:
+		return "soil-moisture"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// AllTypes returns the four sensor types in order.
+func AllTypes() []Type {
+	return []Type{Temperature, Humidity, Light, SoilMoisture}
+}
+
+// Span returns the physical value range of the sensor type. The DirQ
+// threshold δ is expressed as a percentage of this span.
+func (t Type) Span() (min, max float64) {
+	switch t {
+	case Temperature:
+		return -10, 40 // °C
+	case Humidity:
+		return 0, 100 // %RH
+	case Light:
+		return 0, 1000 // lux (scaled)
+	case SoilMoisture:
+		return 0, 60 // volumetric %
+	default:
+		return 0, 1
+	}
+}
+
+// SpanWidth returns max - min of the type's physical range.
+func (t Type) SpanWidth() float64 {
+	lo, hi := t.Span()
+	return hi - lo
+}
+
+// FieldParams tunes the synthetic field for one sensor type.
+type FieldParams struct {
+	Base        float64 // resting field level
+	DiurnalAmp  float64 // amplitude of the day/night sinusoid
+	PeriodEpoch int     // epochs per simulated day
+	Plumes      int     // number of moving Gaussian plumes
+	PlumeAmp    float64 // peak plume amplitude
+	PlumeSigma  float64 // plume spatial stddev (same units as positions)
+	DriftStep   float64 // plume centre random-walk step per epoch
+	NoiseSigma  float64 // per-node AR(1) innovation stddev
+	NoisePhi    float64 // AR(1) coefficient in [0,1)
+	// BiasSigma is the stddev of each node's static microclimate offset
+	// (shade, aspect, soil composition). It creates the persistent
+	// node-to-node value diversity range queries discriminate on, without
+	// adding temporal volatility.
+	BiasSigma float64
+}
+
+// DefaultParams returns field parameters that keep each type's values well
+// inside its physical span while exhibiting clear spatial and temporal
+// structure.
+func DefaultParams(t Type) FieldParams {
+	switch t {
+	case Temperature:
+		return FieldParams{Base: 15, DiurnalAmp: 2.5, PeriodEpoch: 1000, Plumes: 4,
+			PlumeAmp: 10, PlumeSigma: 20, DriftStep: 0.15, NoiseSigma: 0.025, NoisePhi: 0.9,
+			BiasSigma: 6}
+	case Humidity:
+		return FieldParams{Base: 55, DiurnalAmp: 4, PeriodEpoch: 1000, Plumes: 4,
+			PlumeAmp: 16, PlumeSigma: 25, DriftStep: 0.15, NoiseSigma: 0.06, NoisePhi: 0.9,
+			BiasSigma: 12}
+	case Light:
+		return FieldParams{Base: 420, DiurnalAmp: 120, PeriodEpoch: 1000, Plumes: 3,
+			PlumeAmp: 180, PlumeSigma: 18, DriftStep: 0.25, NoiseSigma: 0.6, NoisePhi: 0.85,
+			BiasSigma: 110}
+	case SoilMoisture:
+		return FieldParams{Base: 28, DiurnalAmp: 1.5, PeriodEpoch: 1000, Plumes: 4,
+			PlumeAmp: 10, PlumeSigma: 20, DriftStep: 0.08, NoiseSigma: 0.02, NoisePhi: 0.95,
+			BiasSigma: 7}
+	default:
+		return FieldParams{Base: 0.5, DiurnalAmp: 0.1, PeriodEpoch: 1000, Plumes: 1,
+			PlumeAmp: 0.2, PlumeSigma: 20, DriftStep: 0.3, NoiseSigma: 0.01, NoisePhi: 0.9}
+	}
+}
+
+// plume is one moving Gaussian hotspot.
+type plume struct {
+	x, y  float64
+	amp   float64
+	sigma float64
+}
+
+// typeField is the per-sensor-type field state.
+type typeField struct {
+	params FieldParams
+	plumes []plume
+	phase  float64 // random diurnal phase offset
+	noise  []float64
+	bias   []float64 // static per-node microclimate offsets
+	rng    *sim.RNG
+	width  float64
+	height float64
+}
+
+// Generator produces the dataset epoch by epoch. It is deterministic given
+// its seed stream and must be advanced strictly sequentially with Step.
+type Generator struct {
+	positions []topology.Position
+	fields    [NumTypes]*typeField
+	epoch     int64
+	values    [][NumTypes]float64 // current value per node per type
+}
+
+// NewGenerator builds a generator for the given node positions. The area
+// bounds are inferred from the positions. The rng should be a dedicated
+// stream (e.g. root.Stream("data")).
+func NewGenerator(positions []topology.Position, rng *sim.RNG) *Generator {
+	var w, h float64
+	for _, p := range positions {
+		if p.X > w {
+			w = p.X
+		}
+		if p.Y > h {
+			h = p.Y
+		}
+	}
+	if w == 0 {
+		w = 1
+	}
+	if h == 0 {
+		h = 1
+	}
+	g := &Generator{
+		positions: append([]topology.Position(nil), positions...),
+		values:    make([][NumTypes]float64, len(positions)),
+	}
+	for _, t := range AllTypes() {
+		p := DefaultParams(t)
+		f := &typeField{
+			params: p,
+			phase:  rng.StreamN("phase", int(t)).Float64() * 2 * math.Pi,
+			noise:  make([]float64, len(positions)),
+			bias:   make([]float64, len(positions)),
+			rng:    rng.StreamN("field", int(t)),
+			width:  w,
+			height: h,
+		}
+		// The microclimate bias is itself spatially structured: a static
+		// landscape of Gaussian bumps plus a small independent component,
+		// so nearby nodes stay "spatially related" (§7) while distant nodes
+		// differ persistently.
+		if p.BiasSigma > 0 {
+			type bump struct{ x, y, amp, sigma float64 }
+			var bumps []bump
+			for i := 0; i < 4; i++ {
+				sign := 1.0
+				if f.rng.Bool(0.5) {
+					sign = -1
+				}
+				bumps = append(bumps, bump{
+					x: f.rng.Range(0, w), y: f.rng.Range(0, h),
+					amp:   sign * p.BiasSigma * f.rng.Range(1.2, 2.2),
+					sigma: f.rng.Range(0.15, 0.35) * (w + h) / 2,
+				})
+			}
+			for i, pos := range positions {
+				v := f.rng.NormFloat64() * p.BiasSigma * 0.3
+				for _, b := range bumps {
+					dx, dy := pos.X-b.x, pos.Y-b.y
+					v += b.amp * math.Exp(-(dx*dx+dy*dy)/(2*b.sigma*b.sigma))
+				}
+				f.bias[i] = v
+			}
+		}
+		for i := 0; i < p.Plumes; i++ {
+			f.plumes = append(f.plumes, plume{
+				x:     f.rng.Range(0, w),
+				y:     f.rng.Range(0, h),
+				amp:   p.PlumeAmp * f.rng.Range(0.6, 1.4),
+				sigma: p.PlumeSigma * f.rng.Range(0.8, 1.2),
+			})
+		}
+		g.fields[t] = f
+	}
+	g.compute()
+	return g
+}
+
+// SetParams overrides the field parameters of one sensor type. Must be
+// called before the first Step to keep runs reproducible; values are
+// recomputed immediately.
+func (g *Generator) SetParams(t Type, p FieldParams) {
+	g.fields[t].params = p
+	g.compute()
+}
+
+// Epoch returns the current epoch (starting at 0).
+func (g *Generator) Epoch() int64 { return g.epoch }
+
+// NumNodes returns the number of nodes covered by the dataset.
+func (g *Generator) NumNodes() int { return len(g.positions) }
+
+// Value returns the current reading of a node for a sensor type, clamped to
+// the type's physical span.
+func (g *Generator) Value(id topology.NodeID, t Type) float64 {
+	return g.values[id][t]
+}
+
+// Values returns the current readings of all nodes for one type, indexed by
+// NodeID. The returned slice is freshly allocated.
+func (g *Generator) Values(t Type) []float64 {
+	out := make([]float64, len(g.values))
+	for i := range g.values {
+		out[i] = g.values[i][t]
+	}
+	return out
+}
+
+// Step advances the dataset by one epoch: plume centres drift, the diurnal
+// phase advances, and per-node AR(1) noise evolves.
+func (g *Generator) Step() {
+	g.epoch++
+	for _, t := range AllTypes() {
+		f := g.fields[t]
+		p := f.params
+		for i := range f.plumes {
+			pl := &f.plumes[i]
+			pl.x += f.rng.NormFloat64() * p.DriftStep
+			pl.y += f.rng.NormFloat64() * p.DriftStep
+			// Reflect at the area boundary so plumes stay in play.
+			pl.x = reflect(pl.x, f.width)
+			pl.y = reflect(pl.y, f.height)
+		}
+		for i := range f.noise {
+			f.noise[i] = p.NoisePhi*f.noise[i] + f.rng.NormFloat64()*p.NoiseSigma
+		}
+	}
+	g.compute()
+}
+
+// reflect folds v back into [0, limit].
+func reflect(v, limit float64) float64 {
+	for v < 0 || v > limit {
+		if v < 0 {
+			v = -v
+		}
+		if v > limit {
+			v = 2*limit - v
+		}
+	}
+	return v
+}
+
+// compute refreshes the cached per-node values for the current epoch.
+func (g *Generator) compute() {
+	for _, t := range AllTypes() {
+		f := g.fields[t]
+		p := f.params
+		day := 0.0
+		if p.PeriodEpoch > 0 {
+			day = p.DiurnalAmp * math.Sin(2*math.Pi*float64(g.epoch)/float64(p.PeriodEpoch)+f.phase)
+		}
+		lo, hi := t.Span()
+		for i, pos := range g.positions {
+			v := p.Base + day + f.noise[i] + f.bias[i]
+			for _, pl := range f.plumes {
+				dx, dy := pos.X-pl.x, pos.Y-pl.y
+				v += pl.amp * math.Exp(-(dx*dx+dy*dy)/(2*pl.sigma*pl.sigma))
+			}
+			if v < lo {
+				v = lo
+			}
+			if v > hi {
+				v = hi
+			}
+			g.values[i][t] = v
+		}
+	}
+}
+
+// Volatility is an EWMA estimator of a signal's mean absolute per-epoch
+// change — the "rate of variation of the measured physical parameter" that
+// drives the ATC (§6). The zero value is ready to use with DefaultAlpha.
+type Volatility struct {
+	alpha   float64
+	mean    float64
+	last    float64
+	started bool
+}
+
+// DefaultAlpha is the EWMA smoothing factor used when none is set.
+const DefaultAlpha = 0.05
+
+// NewVolatility returns an estimator with the given smoothing factor in
+// (0, 1].
+func NewVolatility(alpha float64) *Volatility {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("sensordata: EWMA alpha %v outside (0,1]", alpha))
+	}
+	return &Volatility{alpha: alpha}
+}
+
+// Observe feeds the next sample of the signal.
+func (v *Volatility) Observe(x float64) {
+	if v.alpha == 0 {
+		v.alpha = DefaultAlpha
+	}
+	if !v.started {
+		v.started = true
+		v.last = x
+		return
+	}
+	d := math.Abs(x - v.last)
+	v.last = x
+	v.mean = (1-v.alpha)*v.mean + v.alpha*d
+}
+
+// MeanAbsDelta returns the smoothed mean absolute per-sample change.
+func (v *Volatility) MeanAbsDelta() float64 { return v.mean }
+
+// TypeSet is the set of sensor types mounted on one node.
+type TypeSet uint8
+
+// Has reports whether the set contains t.
+func (s TypeSet) Has(t Type) bool { return s&(1<<uint(t)) != 0 }
+
+// With returns the set extended with t.
+func (s TypeSet) With(t Type) TypeSet { return s | (1 << uint(t)) }
+
+// Without returns the set with t removed.
+func (s TypeSet) Without(t Type) TypeSet { return s &^ (1 << uint(t)) }
+
+// Types lists the members in order.
+func (s TypeSet) Types() []Type {
+	var out []Type
+	for _, t := range AllTypes() {
+		if s.Has(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Len returns the number of types in the set.
+func (s TypeSet) Len() int {
+	n := 0
+	for _, t := range AllTypes() {
+		if s.Has(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// AllTypeSet returns the set containing every sensor type.
+func AllTypeSet() TypeSet {
+	var s TypeSet
+	for _, t := range AllTypes() {
+		s = s.With(t)
+	}
+	return s
+}
+
+// AssignTypes gives every node (except the root, which is a pure sink) a
+// random non-empty subset of sensor types: each type is mounted with
+// probability p. This produces the heterogeneous deployments of §4.1/Fig. 4.
+func AssignTypes(n int, p float64, rng *sim.RNG) []TypeSet {
+	sets := make([]TypeSet, n)
+	for i := 1; i < n; i++ {
+		var s TypeSet
+		for _, t := range AllTypes() {
+			if rng.Bool(p) {
+				s = s.With(t)
+			}
+		}
+		if s == 0 {
+			s = s.With(AllTypes()[rng.Intn(int(NumTypes))])
+		}
+		sets[i] = s
+	}
+	return sets
+}
+
+// AssignAllTypes mounts every sensor type on every node except the root —
+// the homogeneous configuration used by the headline experiments.
+func AssignAllTypes(n int) []TypeSet {
+	sets := make([]TypeSet, n)
+	for i := 1; i < n; i++ {
+		sets[i] = AllTypeSet()
+	}
+	return sets
+}

@@ -1,0 +1,287 @@
+package sensordata
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func testPositions(n int, rng *sim.RNG) []topology.Position {
+	pos := make([]topology.Position, n)
+	for i := range pos {
+		pos[i] = topology.Position{X: rng.Range(0, 100), Y: rng.Range(0, 100)}
+	}
+	return pos
+}
+
+func TestTypeStringAndSpan(t *testing.T) {
+	for _, ty := range AllTypes() {
+		if ty.String() == "" {
+			t.Fatalf("type %d has empty name", ty)
+		}
+		lo, hi := ty.Span()
+		if hi <= lo {
+			t.Fatalf("%v span [%v,%v] inverted", ty, lo, hi)
+		}
+		if ty.SpanWidth() != hi-lo {
+			t.Fatalf("%v SpanWidth mismatch", ty)
+		}
+	}
+	if len(AllTypes()) != int(NumTypes) {
+		t.Fatal("AllTypes incomplete")
+	}
+}
+
+func TestGeneratorValuesWithinSpan(t *testing.T) {
+	rng := sim.NewRNG(1)
+	g := NewGenerator(testPositions(30, rng), rng.Stream("data"))
+	for e := 0; e < 500; e++ {
+		for _, ty := range AllTypes() {
+			for i := 0; i < g.NumNodes(); i++ {
+				v := g.Value(topology.NodeID(i), ty)
+				lo, hi := ty.Span()
+				if v < lo || v > hi {
+					t.Fatalf("epoch %d node %d %v = %v outside [%v,%v]", e, i, ty, v, lo, hi)
+				}
+			}
+		}
+		g.Step()
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	rng1 := sim.NewRNG(7)
+	rng2 := sim.NewRNG(7)
+	pos := testPositions(20, rng1)
+	_ = testPositions(20, rng2) // keep streams aligned
+	a := NewGenerator(pos, rng1.Stream("data"))
+	b := NewGenerator(pos, rng2.Stream("data"))
+	for e := 0; e < 100; e++ {
+		for i := 0; i < 20; i++ {
+			if a.Value(topology.NodeID(i), Temperature) != b.Value(topology.NodeID(i), Temperature) {
+				t.Fatalf("divergence at epoch %d node %d", e, i)
+			}
+		}
+		a.Step()
+		b.Step()
+	}
+}
+
+func TestSpatialCorrelation(t *testing.T) {
+	// Paper: "sensor values of nodes located close to one another are
+	// spatially related". Mean |difference| between near pairs must be
+	// smaller than between far pairs.
+	rng := sim.NewRNG(3)
+	pos := []topology.Position{
+		{X: 10, Y: 10}, {X: 12, Y: 10}, // near pair
+		{X: 90, Y: 90}, {X: 88, Y: 90}, // near pair
+	}
+	g := NewGenerator(pos, rng.Stream("data"))
+	var nearDiff, farDiff float64
+	const epochs = 2000
+	for e := 0; e < epochs; e++ {
+		nearDiff += math.Abs(g.Value(0, Temperature) - g.Value(1, Temperature))
+		nearDiff += math.Abs(g.Value(2, Temperature) - g.Value(3, Temperature))
+		farDiff += math.Abs(g.Value(0, Temperature) - g.Value(2, Temperature))
+		farDiff += math.Abs(g.Value(1, Temperature) - g.Value(3, Temperature))
+		g.Step()
+	}
+	if nearDiff >= farDiff {
+		t.Fatalf("near-pair diff %v >= far-pair diff %v: no spatial correlation", nearDiff, farDiff)
+	}
+}
+
+func TestTemporalCorrelation(t *testing.T) {
+	// Lag-1 autocorrelation of a node's series must be strongly positive.
+	rng := sim.NewRNG(5)
+	g := NewGenerator(testPositions(5, rng), rng.Stream("data"))
+	const epochs = 3000
+	series := make([]float64, epochs)
+	for e := 0; e < epochs; e++ {
+		series[e] = g.Value(0, Humidity)
+		g.Step()
+	}
+	mean := 0.0
+	for _, v := range series {
+		mean += v
+	}
+	mean /= epochs
+	var num, den float64
+	for i := 1; i < epochs; i++ {
+		num += (series[i] - mean) * (series[i-1] - mean)
+	}
+	for _, v := range series {
+		den += (v - mean) * (v - mean)
+	}
+	if den == 0 {
+		t.Fatal("constant series")
+	}
+	if ac := num / den; ac < 0.9 {
+		t.Fatalf("lag-1 autocorrelation %v, want > 0.9 (temporally related data)", ac)
+	}
+}
+
+func TestValuesChangOverTime(t *testing.T) {
+	rng := sim.NewRNG(11)
+	g := NewGenerator(testPositions(5, rng), rng.Stream("data"))
+	v0 := g.Value(0, Temperature)
+	changed := false
+	for e := 0; e < 200; e++ {
+		g.Step()
+		if g.Value(0, Temperature) != v0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("value frozen over 200 epochs")
+	}
+}
+
+func TestValuesSliceMatchesValue(t *testing.T) {
+	rng := sim.NewRNG(13)
+	g := NewGenerator(testPositions(8, rng), rng.Stream("data"))
+	vs := g.Values(Light)
+	if len(vs) != 8 {
+		t.Fatalf("Values length %d", len(vs))
+	}
+	for i, v := range vs {
+		if v != g.Value(topology.NodeID(i), Light) {
+			t.Fatalf("Values[%d] mismatch", i)
+		}
+	}
+}
+
+func TestSetParams(t *testing.T) {
+	rng := sim.NewRNG(17)
+	g := NewGenerator(testPositions(4, rng), rng.Stream("data"))
+	p := DefaultParams(Temperature)
+	p.Base = 39
+	p.DiurnalAmp = 0
+	p.PlumeAmp = 0
+	p.NoiseSigma = 0
+	g.SetParams(Temperature, p)
+	// With no plumes/noise contribution the value should sit at Base
+	// (plumes still exist but amp comes from construction...). Instead
+	// verify the recompute happened and values are near the new base.
+	for i := 0; i < 4; i++ {
+		v := g.Value(topology.NodeID(i), Temperature)
+		if v < 30 || v > 40 {
+			t.Fatalf("after SetParams value %v, want near 39", v)
+		}
+	}
+}
+
+func TestReflectStaysInBounds(t *testing.T) {
+	for _, v := range []float64{-250.5, -3, 0, 5, 99, 105, 999.5} {
+		r := reflect(v, 100)
+		if r < 0 || r > 100 {
+			t.Fatalf("reflect(%v,100) = %v out of bounds", v, r)
+		}
+	}
+	if reflect(50, 100) != 50 {
+		t.Fatal("reflect changed an in-bounds value")
+	}
+}
+
+func TestVolatilityEstimator(t *testing.T) {
+	v := NewVolatility(0.5)
+	// Alternating 0,2,0,2... has mean abs delta 2.
+	for i := 0; i < 100; i++ {
+		v.Observe(float64((i % 2) * 2))
+	}
+	if got := v.MeanAbsDelta(); math.Abs(got-2) > 0.01 {
+		t.Fatalf("MeanAbsDelta = %v, want ~2", got)
+	}
+}
+
+func TestVolatilityConstantSignal(t *testing.T) {
+	v := NewVolatility(0.1)
+	for i := 0; i < 50; i++ {
+		v.Observe(7)
+	}
+	if v.MeanAbsDelta() != 0 {
+		t.Fatalf("constant signal volatility %v, want 0", v.MeanAbsDelta())
+	}
+}
+
+func TestVolatilityZeroValueUsable(t *testing.T) {
+	var v Volatility
+	v.Observe(1)
+	v.Observe(2)
+	if v.MeanAbsDelta() <= 0 {
+		t.Fatal("zero-value Volatility did not accumulate")
+	}
+}
+
+func TestVolatilityAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v accepted", a)
+				}
+			}()
+			NewVolatility(a)
+		}()
+	}
+}
+
+func TestTypeSetOperations(t *testing.T) {
+	var s TypeSet
+	if s.Len() != 0 {
+		t.Fatal("empty set has members")
+	}
+	s = s.With(Temperature).With(Light)
+	if !s.Has(Temperature) || !s.Has(Light) || s.Has(Humidity) {
+		t.Fatalf("set membership wrong: %b", s)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s = s.Without(Temperature)
+	if s.Has(Temperature) || !s.Has(Light) {
+		t.Fatal("Without broken")
+	}
+	types := AllTypeSet().Types()
+	if len(types) != int(NumTypes) {
+		t.Fatalf("AllTypeSet has %d types", len(types))
+	}
+}
+
+func TestAssignTypes(t *testing.T) {
+	rng := sim.NewRNG(23)
+	sets := AssignTypes(50, 0.5, rng)
+	if sets[0] != 0 {
+		t.Fatal("root (node 0) was assigned sensors; it is a pure sink")
+	}
+	for i := 1; i < 50; i++ {
+		if sets[i].Len() == 0 {
+			t.Fatalf("node %d has no sensors", i)
+		}
+	}
+	// With p=0.5 over 4 types and 49 nodes, not everyone should have all 4.
+	all := 0
+	for i := 1; i < 50; i++ {
+		if sets[i] == AllTypeSet() {
+			all++
+		}
+	}
+	if all == 49 {
+		t.Fatal("heterogeneous assignment produced a homogeneous network")
+	}
+}
+
+func TestAssignAllTypes(t *testing.T) {
+	sets := AssignAllTypes(10)
+	if sets[0] != 0 {
+		t.Fatal("root has sensors")
+	}
+	for i := 1; i < 10; i++ {
+		if sets[i] != AllTypeSet() {
+			t.Fatalf("node %d missing types", i)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// It is the OMNeT++ substitute used by the DirQ reproduction: a binary-heap
+// event queue keyed by (time, priority, sequence) and a seeded, splittable
+// random number generator so every simulation run is exactly reproducible
+// from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is the simulation clock in discrete ticks. One tick corresponds to
+// one epoch in the paper's terminology (one sensor acquisition interval).
+type Time int64
+
+// Handler is a scheduled simulation action.
+type Handler func()
+
+// event is a single queue entry. Events with equal time run in ascending
+// priority order; ties break on insertion sequence so execution order is
+// fully deterministic.
+type event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       Handler
+	index    int // heap index, maintained by eventQueue
+	canceled bool
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, priority, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct {
+	ev *event
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	steps   uint64
+}
+
+// NewEngine returns an engine with the clock at 0 and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events currently queued (including
+// canceled-but-unpopped events).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute time at with priority 0.
+// Scheduling in the past (before Now) panics: it indicates a protocol bug.
+func (e *Engine) Schedule(at Time, fn Handler) EventID {
+	return e.SchedulePrio(at, 0, fn)
+}
+
+// ScheduleIn enqueues fn to run delay ticks from now.
+func (e *Engine) ScheduleIn(delay Time, fn Handler) EventID {
+	return e.SchedulePrio(e.now+delay, 0, fn)
+}
+
+// SchedulePrio enqueues fn at absolute time at with an explicit priority.
+// Lower priorities run first among events that share a timestamp.
+func (e *Engine) SchedulePrio(at Time, priority int, fn Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil handler")
+	}
+	ev := &event{at: at, priority: priority, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// Cancel removes a scheduled event. Canceling an already-run or
+// already-canceled event is a no-op. Reports whether the event was live.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+// Step executes the single earliest pending event. It reports false when the
+// queue is empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	for {
+		if e.stopped || len(e.queue) == 0 {
+			return false
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+		return true
+	}
+}
+
+// Run executes events until the queue drains or the engine is stopped.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= until (inclusive), leaving
+// later events queued, and advances the clock to until.
+func (e *Engine) RunUntil(until Time) {
+	for {
+		if e.stopped {
+			return
+		}
+		// Peek.
+		var next *event
+		for len(e.queue) > 0 && e.queue[0].canceled {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) > 0 {
+			next = e.queue[0]
+		}
+		if next == nil || next.at > until {
+			if e.now < until {
+				e.now = until
+			}
+			return
+		}
+		e.Step()
+	}
+}
+
+// Stop halts Run / RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

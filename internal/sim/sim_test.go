@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndRunInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []Time{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("insertion order not preserved at ties: %v", got)
+		}
+	}
+}
+
+func TestTieBreakByPriority(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.SchedulePrio(3, 2, func() { got = append(got, 2) })
+	e.SchedulePrio(3, 0, func() { got = append(got, 0) })
+	e.SchedulePrio(3, 1, func() { got = append(got, 1) })
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("priority order violated: %v", got)
+		}
+	}
+}
+
+func TestScheduleInRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Schedule(10, func() {
+		e.ScheduleIn(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Fatalf("relative event ran at %d, want 15", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling nil handler did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.Schedule(4, func() { ran = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for a live event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("Cancel returned true for an already-canceled event")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled event still ran")
+	}
+}
+
+func TestCancelAfterRunIsNoop(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(1, func() {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Fatal("Cancel returned true for a finished event")
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{1, 2, 3, 10, 20} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(5)
+	if len(got) != 3 {
+		t.Fatalf("ran %d events, want 3 (%v)", len(got), got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %d, want clock advanced to 5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.RunUntil(20)
+	if len(got) != 5 {
+		t.Fatalf("ran %d events after second RunUntil, want 5", len(got))
+	}
+}
+
+func TestRunUntilInclusive(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	e.RunUntil(5)
+	if !ran {
+		t.Fatal("event exactly at the boundary did not run")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 100; i++ {
+		e.Schedule(i, func() {
+			count++
+			if count == 10 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("ran %d events after Stop, want 10", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	e := NewEngine()
+	for i := Time(1); i <= 7; i++ {
+		e.Schedule(i, func() {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Fatalf("Steps() = %d, want 7", e.Steps())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse Handler
+	recurse = func() {
+		depth++
+		if depth < 50 {
+			e.ScheduleIn(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 50 {
+		t.Fatalf("chained scheduling depth = %d, want 50", depth)
+	}
+	if e.Now() != 49 {
+		t.Fatalf("Now() = %d, want 49", e.Now())
+	}
+}
+
+// Property: any multiset of timestamps is executed in sorted order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		e := NewEngine()
+		var got []Time
+		for _, s := range stamps {
+			at := Time(s)
+			e.Schedule(at, func() { got = append(got, at) })
+		}
+		e.Run()
+		if len(got) != len(stamps) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never moves backwards across an arbitrary schedule.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(stamps []uint8) bool {
+		e := NewEngine()
+		prev := Time(-1)
+		ok := true
+		for _, s := range stamps {
+			e.Schedule(Time(s), func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

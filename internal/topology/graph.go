@@ -1,0 +1,163 @@
+// Package topology models the physical layout and connectivity of a wireless
+// sensor network: node placement, the unit-disk radio graph, and the
+// spanning communication tree DirQ runs over.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node. The root of the network is always node 0.
+type NodeID int
+
+// Root is the NodeID of the sink / root node.
+const Root NodeID = 0
+
+// Position is a 2-D coordinate in the deployment area (arbitrary units,
+// typically metres).
+type Position struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two positions.
+func (p Position) Dist(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Graph is an undirected radio-connectivity graph over a fixed node set.
+// Nodes are dense IDs 0..N-1. Edges are stored as sorted adjacency lists so
+// iteration order (and thus every simulation) is deterministic.
+type Graph struct {
+	pos []Position
+	adj [][]NodeID
+}
+
+// NewGraph creates a graph with the given node positions and no edges.
+func NewGraph(pos []Position) *Graph {
+	g := &Graph{
+		pos: append([]Position(nil), pos...),
+		adj: make([][]NodeID, len(pos)),
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.pos) }
+
+// Pos returns the position of node id.
+func (g *Graph) Pos(id NodeID) Position { return g.pos[id] }
+
+// AddEdge inserts the undirected edge (a, b). Self-loops and duplicates are
+// rejected with an error.
+func (g *Graph) AddEdge(a, b NodeID) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop on node %d", a)
+	}
+	if int(a) < 0 || int(a) >= len(g.pos) || int(b) < 0 || int(b) >= len(g.pos) {
+		return fmt.Errorf("topology: edge (%d,%d) out of range [0,%d)", a, b, len(g.pos))
+	}
+	if g.HasEdge(a, b) {
+		return fmt.Errorf("topology: duplicate edge (%d,%d)", a, b)
+	}
+	g.adj[a] = insertSorted(g.adj[a], b)
+	g.adj[b] = insertSorted(g.adj[b], a)
+	return nil
+}
+
+func insertSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// HasEdge reports whether (a, b) is an edge.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	s := g.adj[a]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= b })
+	return i < len(s) && s[i] == b
+}
+
+// Neighbors returns the sorted neighbor list of id. The returned slice must
+// not be modified.
+func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj[id] }
+
+// Degree returns the number of neighbors of id.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Connected reports whether every node is reachable from the root.
+func (g *Graph) Connected() bool {
+	if len(g.pos) == 0 {
+		return true
+	}
+	return len(g.ReachableFrom(Root)) == len(g.pos)
+}
+
+// ReachableFrom returns the set of nodes reachable from start (inclusive)
+// via BFS, in visit order.
+func (g *Graph) ReachableFrom(start NodeID) []NodeID {
+	seen := make([]bool, len(g.pos))
+	seen[start] = true
+	order := []NodeID{start}
+	for i := 0; i < len(order); i++ {
+		for _, nb := range g.adj[order[i]] {
+			if !seen[nb] {
+				seen[nb] = true
+				order = append(order, nb)
+			}
+		}
+	}
+	return order
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.pos)
+	for i, a := range g.adj {
+		c.adj[i] = append([]NodeID(nil), a...)
+	}
+	return c
+}
+
+// RemoveNodeEdges detaches a node from the graph by deleting all its edges
+// (the node itself stays, as dead sensors physically remain in place).
+func (g *Graph) RemoveNodeEdges(id NodeID) {
+	for _, nb := range g.adj[id] {
+		g.adj[nb] = removeSorted(g.adj[nb], id)
+	}
+	g.adj[id] = nil
+}
+
+func removeSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// ConnectUnitDisk adds an edge between every pair of nodes within radio
+// range r of each other.
+func (g *Graph) ConnectUnitDisk(r float64) {
+	for a := 0; a < len(g.pos); a++ {
+		for b := a + 1; b < len(g.pos); b++ {
+			if g.pos[a].Dist(g.pos[b]) <= r && !g.HasEdge(NodeID(a), NodeID(b)) {
+				// Safe: bounds checked, no self-loop, no duplicate.
+				_ = g.AddEdge(NodeID(a), NodeID(b))
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package topology
+
+import "fmt"
+
+// KaryTreeSize returns the node count of a perfect k-ary tree of depth d
+// (root at depth 0): (k^(d+1) - 1) / (k - 1), or d+1 when k == 1.
+func KaryTreeSize(k, d int) (int, error) {
+	if k < 1 || d < 0 {
+		return 0, fmt.Errorf("topology: invalid k-ary parameters k=%d d=%d", k, d)
+	}
+	if k == 1 {
+		return d + 1, nil
+	}
+	n := 1
+	level := 1
+	for i := 0; i < d; i++ {
+		level *= k
+		n += level
+		if n < 0 {
+			return 0, fmt.Errorf("topology: k=%d d=%d overflows int", k, d)
+		}
+	}
+	return n, nil
+}
+
+// BuildKaryTree constructs a perfect k-ary tree of depth d together with a
+// matching graph (edges exactly the tree edges). Node 0 is the root and IDs
+// are assigned level by level, so node i's parent is (i-1)/k. Positions are
+// laid out for display only. This is the topology used by the paper's §5
+// analytical model, and the simulation cross-check of equations (3)-(8).
+func BuildKaryTree(k, d int) (*Graph, *Tree, error) {
+	n, err := KaryTreeSize(k, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos := make([]Position, n)
+	g := NewGraph(pos)
+	t := NewTree(Root)
+	for i := 1; i < n; i++ {
+		parent := NodeID((i - 1) / k)
+		if err := g.AddEdge(parent, NodeID(i)); err != nil {
+			return nil, nil, err
+		}
+		if err := t.Attach(parent, NodeID(i)); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Lay positions out by level for visualization and distance-based
+	// data generation: depth -> Y, sibling index -> X.
+	counts := map[int]int{}
+	for _, id := range t.Nodes() {
+		dep := t.Depth(id)
+		g.pos[id] = Position{X: float64(counts[dep]) * 10, Y: float64(dep) * 10}
+		counts[dep]++
+	}
+	return g, t, nil
+}

@@ -1,0 +1,85 @@
+package topology
+
+import "testing"
+
+func TestKaryTreeSize(t *testing.T) {
+	cases := []struct {
+		k, d, want int
+	}{
+		{2, 0, 1},
+		{2, 1, 3},
+		{2, 4, 31},
+		{3, 2, 13},
+		{8, 2, 73},
+		{1, 5, 6},
+	}
+	for _, c := range cases {
+		got, err := KaryTreeSize(c.k, c.d)
+		if err != nil {
+			t.Fatalf("KaryTreeSize(%d,%d): %v", c.k, c.d, err)
+		}
+		if got != c.want {
+			t.Fatalf("KaryTreeSize(%d,%d) = %d, want %d", c.k, c.d, got, c.want)
+		}
+	}
+}
+
+func TestKaryTreeSizeErrors(t *testing.T) {
+	if _, err := KaryTreeSize(0, 3); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KaryTreeSize(2, -1); err == nil {
+		t.Fatal("d=-1 accepted")
+	}
+}
+
+func TestBuildKaryTreeStructure(t *testing.T) {
+	g, tr, err := BuildKaryTree(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 31 || tr.Len() != 31 {
+		t.Fatalf("sizes g=%d tr=%d, want 31", g.Len(), tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tr.MaxDepth() != 4 {
+		t.Fatalf("MaxDepth = %d, want 4", tr.MaxDepth())
+	}
+	// Every internal node has exactly k children.
+	for _, id := range tr.Nodes() {
+		ch := len(tr.Children(id))
+		if tr.Depth(id) < 4 && ch != 2 {
+			t.Fatalf("internal node %d has %d children, want 2", id, ch)
+		}
+		if tr.Depth(id) == 4 && ch != 0 {
+			t.Fatalf("leaf %d has children", id)
+		}
+	}
+	// Graph edges exactly match tree edges.
+	if g.EdgeCount() != 30 {
+		t.Fatalf("EdgeCount = %d, want 30", g.EdgeCount())
+	}
+	// Leaf count is k^d.
+	if leaves := tr.Leaves(); len(leaves) != 16 {
+		t.Fatalf("leaf count %d, want 16", len(leaves))
+	}
+}
+
+func TestBuildKaryTreeDegenerate(t *testing.T) {
+	g, tr, err := BuildKaryTree(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 || tr.MaxDepth() != 4 {
+		t.Fatalf("1-ary: len=%d depth=%d", g.Len(), tr.MaxDepth())
+	}
+	_, tr0, err := BuildKaryTree(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr0.Len() != 1 {
+		t.Fatalf("depth-0 tree has %d nodes", tr0.Len())
+	}
+}

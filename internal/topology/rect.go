@@ -1,0 +1,51 @@
+package topology
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle in deployment coordinates, used for
+// location-constrained queries (the paper notes DirQ can route on location
+// "if it is available" — a static attribute).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the rectangle is non-degenerate.
+func (r Rect) Valid() bool { return r.MaxX >= r.MinX && r.MaxY >= r.MinY }
+
+// Contains reports whether p lies inside the rectangle (closed bounds).
+func (r Rect) Contains(p Position) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Intersects reports whether two rectangles overlap (closed bounds).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Union returns the smallest rectangle covering both.
+func (r Rect) Union(o Rect) Rect {
+	out := r
+	if o.MinX < out.MinX {
+		out.MinX = o.MinX
+	}
+	if o.MinY < out.MinY {
+		out.MinY = o.MinY
+	}
+	if o.MaxX > out.MaxX {
+		out.MaxX = o.MaxX
+	}
+	if o.MaxY > out.MaxY {
+		out.MaxY = o.MaxY
+	}
+	return out
+}
+
+// RectAround returns the degenerate rectangle covering one point.
+func RectAround(p Position) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// String renders the rectangle.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f]x[%.1f,%.1f]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

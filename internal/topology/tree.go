@@ -1,0 +1,270 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a rooted spanning tree over (a subset of) a Graph's nodes. It is
+// the communication structure DirQ maintains range tables over.
+type Tree struct {
+	root     NodeID
+	parent   map[NodeID]NodeID // absent for root and detached nodes
+	children map[NodeID][]NodeID
+	depth    map[NodeID]int
+}
+
+// NewTree returns a tree containing only the root.
+func NewTree(root NodeID) *Tree {
+	return &Tree{
+		root:     root,
+		parent:   map[NodeID]NodeID{},
+		children: map[NodeID][]NodeID{},
+		depth:    map[NodeID]int{root: 0},
+	}
+}
+
+// Root returns the root node.
+func (t *Tree) Root() NodeID { return t.root }
+
+// Len returns the number of nodes currently in the tree (root included).
+func (t *Tree) Len() int { return len(t.depth) }
+
+// Contains reports whether id is attached to the tree.
+func (t *Tree) Contains(id NodeID) bool {
+	_, ok := t.depth[id]
+	return ok
+}
+
+// Parent returns the parent of id; ok is false for the root or a node not in
+// the tree.
+func (t *Tree) Parent(id NodeID) (NodeID, bool) {
+	p, ok := t.parent[id]
+	return p, ok
+}
+
+// Children returns the sorted child list of id. The slice must not be
+// modified by callers.
+func (t *Tree) Children(id NodeID) []NodeID { return t.children[id] }
+
+// Depth returns the hop distance of id from the root; -1 if not in the tree.
+func (t *Tree) Depth(id NodeID) int {
+	d, ok := t.depth[id]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// MaxDepth returns the deepest level in the tree (root = 0).
+func (t *Tree) MaxDepth() int {
+	max := 0
+	for _, d := range t.depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Attach links child under parent. The parent must already be in the tree
+// and the child must not be.
+func (t *Tree) Attach(parent, child NodeID) error {
+	if !t.Contains(parent) {
+		return fmt.Errorf("topology: attach under %d which is not in the tree", parent)
+	}
+	if t.Contains(child) {
+		return fmt.Errorf("topology: node %d is already in the tree", child)
+	}
+	t.parent[child] = parent
+	t.children[parent] = insertSorted(t.children[parent], child)
+	t.depth[child] = t.depth[parent] + 1
+	return nil
+}
+
+// Detach removes a leaf or an entire subtree rooted at id from the tree and
+// returns the removed node set (in BFS order, id first). Detaching the root
+// is an error.
+func (t *Tree) Detach(id NodeID) ([]NodeID, error) {
+	if id == t.root {
+		return nil, fmt.Errorf("topology: cannot detach the root")
+	}
+	if !t.Contains(id) {
+		return nil, fmt.Errorf("topology: node %d is not in the tree", id)
+	}
+	removed := t.Subtree(id)
+	p := t.parent[id]
+	t.children[p] = removeSorted(t.children[p], id)
+	for _, n := range removed {
+		delete(t.parent, n)
+		delete(t.depth, n)
+		delete(t.children, n)
+	}
+	return removed, nil
+}
+
+// Subtree returns id and all its descendants in BFS order.
+func (t *Tree) Subtree(id NodeID) []NodeID {
+	order := []NodeID{id}
+	for i := 0; i < len(order); i++ {
+		order = append(order, t.children[order[i]]...)
+	}
+	return order
+}
+
+// PathToRoot returns the node sequence from id up to and including the root.
+func (t *Tree) PathToRoot(id NodeID) []NodeID {
+	if !t.Contains(id) {
+		return nil
+	}
+	path := []NodeID{id}
+	for {
+		p, ok := t.parent[path[len(path)-1]]
+		if !ok {
+			return path
+		}
+		path = append(path, p)
+	}
+}
+
+// Nodes returns all tree nodes in ascending ID order.
+func (t *Tree) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(t.depth))
+	for id := range t.depth {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaves returns all leaf nodes in ascending ID order.
+func (t *Tree) Leaves() []NodeID {
+	var out []NodeID
+	for id := range t.depth {
+		if len(t.children[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks the structural invariants: every non-root node has a
+// parent in the tree, depths are parent+1, child lists match parent
+// pointers, and there are no cycles.
+func (t *Tree) Validate() error {
+	for id, d := range t.depth {
+		if id == t.root {
+			if d != 0 {
+				return fmt.Errorf("topology: root depth %d != 0", d)
+			}
+			if _, ok := t.parent[id]; ok {
+				return fmt.Errorf("topology: root has a parent")
+			}
+			continue
+		}
+		p, ok := t.parent[id]
+		if !ok {
+			return fmt.Errorf("topology: node %d has no parent", id)
+		}
+		pd, ok := t.depth[p]
+		if !ok {
+			return fmt.Errorf("topology: node %d's parent %d is not in the tree", id, p)
+		}
+		if d != pd+1 {
+			return fmt.Errorf("topology: node %d depth %d != parent depth %d + 1", id, d, pd)
+		}
+		found := false
+		for _, c := range t.children[p] {
+			if c == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("topology: node %d missing from parent %d's child list", id, p)
+		}
+	}
+	// Cycle / reachability: BFS from root must reach exactly len(depth) nodes.
+	if got := len(t.Subtree(t.root)); got != len(t.depth) {
+		return fmt.Errorf("topology: %d nodes reachable from root, %d registered", got, len(t.depth))
+	}
+	return nil
+}
+
+// BuildSpanningTree constructs a BFS spanning tree of g rooted at root with
+// a fan-out cap (maximum children per node) and a depth cap. A node is
+// attached to the shallowest already-attached radio neighbor that still has
+// child capacity; ties break on smallest parent ID for determinism. Returns
+// an error if the caps make full coverage impossible on this graph.
+func BuildSpanningTree(g *Graph, root NodeID, maxFanout, maxDepth int) (*Tree, error) {
+	if maxFanout < 1 {
+		return nil, fmt.Errorf("topology: fan-out cap %d < 1", maxFanout)
+	}
+	if maxDepth < 1 {
+		return nil, fmt.Errorf("topology: depth cap %d < 1", maxDepth)
+	}
+	t := NewTree(root)
+	frontier := []NodeID{root}
+	for len(frontier) > 0 {
+		var next []NodeID
+		for _, p := range frontier {
+			if t.Depth(p) >= maxDepth {
+				continue
+			}
+			for _, nb := range g.Neighbors(p) {
+				if t.Contains(nb) || len(t.children[p]) >= maxFanout {
+					continue
+				}
+				if err := t.Attach(p, nb); err != nil {
+					return nil, err
+				}
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	if t.Len() != g.Len() {
+		return nil, fmt.Errorf("topology: spanning tree covers %d of %d nodes (fanout=%d depth=%d too tight)",
+			t.Len(), g.Len(), maxFanout, maxDepth)
+	}
+	return t, nil
+}
+
+// ReattachOrphans reattaches the given detached nodes (e.g. the subtree of a
+// dead node) to the tree using their radio neighbors, shallowest-parent
+// first, respecting the fan-out and depth caps. Nodes whose radio neighbors
+// are all detached or at capacity stay orphaned and are returned.
+func ReattachOrphans(t *Tree, g *Graph, orphans []NodeID, maxFanout, maxDepth int) (attached, failed []NodeID) {
+	pending := append([]NodeID(nil), orphans...)
+	for progress := true; progress; {
+		progress = false
+		var still []NodeID
+		for _, id := range pending {
+			best := NodeID(-1)
+			bestDepth := maxDepth + 1
+			for _, nb := range g.Neighbors(id) {
+				if !t.Contains(nb) {
+					continue
+				}
+				d := t.Depth(nb)
+				if d >= maxDepth || len(t.Children(nb)) >= maxFanout {
+					continue
+				}
+				if d < bestDepth || (d == bestDepth && nb < best) {
+					best, bestDepth = nb, d
+				}
+			}
+			if best >= 0 {
+				if err := t.Attach(best, id); err == nil {
+					attached = append(attached, id)
+					progress = true
+					continue
+				}
+			}
+			still = append(still, id)
+		}
+		pending = still
+	}
+	return attached, pending
+}

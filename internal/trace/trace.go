@@ -1,0 +1,121 @@
+// Package trace records protocol events (Update Messages, query
+// deliveries, estimate waves, deaths, re-attachments) into a bounded ring
+// buffer for debugging and post-run analysis. It plugs into
+// core.Config.Trace and stamps every event with the simulation epoch.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Stamped is one recorded event with its simulation time.
+type Stamped struct {
+	Epoch sim.Time
+	Event core.TraceEvent
+}
+
+// String renders the event as one log line.
+func (s Stamped) String() string {
+	ev := s.Event
+	switch ev.Kind {
+	case core.TraceUpdateSent, core.TraceWithdraw:
+		return fmt.Sprintf("[%6d] %-14s node=%d -> parent=%d type=%s",
+			s.Epoch, ev.Kind, ev.Node, ev.Peer, ev.Type)
+	case core.TraceQueryReceived, core.TraceQuerySource:
+		return fmt.Sprintf("[%6d] %-14s node=%d query=%d",
+			s.Epoch, ev.Kind, ev.Node, ev.QueryID)
+	case core.TraceEstimate:
+		return fmt.Sprintf("[%6d] %-14s root=%d seq=%d",
+			s.Epoch, ev.Kind, ev.Node, ev.QueryID)
+	default:
+		return fmt.Sprintf("[%6d] %-14s node=%d peer=%d",
+			s.Epoch, ev.Kind, ev.Node, ev.Peer)
+	}
+}
+
+// Recorder is a fixed-capacity ring buffer of protocol events. Not safe
+// for concurrent use (the simulation is single-threaded by design).
+type Recorder struct {
+	cap     int
+	buf     []Stamped
+	next    int
+	wrapped bool
+	total   uint64
+	counts  map[core.TraceKind]uint64
+}
+
+// NewRecorder creates a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("trace: capacity %d < 1", capacity)
+	}
+	return &Recorder{
+		cap:    capacity,
+		buf:    make([]Stamped, 0, capacity),
+		counts: map[core.TraceKind]uint64{},
+	}, nil
+}
+
+// Hook returns the function to install as core.Config.Trace, stamping
+// events with the engine's current time.
+func (r *Recorder) Hook(engine *sim.Engine) func(core.TraceEvent) {
+	return func(ev core.TraceEvent) {
+		r.Record(engine.Now(), ev)
+	}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(epoch sim.Time, ev core.TraceEvent) {
+	s := Stamped{Epoch: epoch, Event: ev}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % r.cap
+		r.wrapped = true
+	}
+	r.total++
+	r.counts[ev.Kind]++
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Count returns how many events of one kind were ever recorded.
+func (r *Recorder) Count(kind core.TraceKind) uint64 { return r.counts[kind] }
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Stamped {
+	if !r.wrapped {
+		return append([]Stamped(nil), r.buf...)
+	}
+	out := make([]Stamped, 0, r.cap)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns the retained events of one kind, oldest first.
+func (r *Recorder) Filter(kind core.TraceKind) []Stamped {
+	var out []Stamped
+	for _, s := range r.Events() {
+		if s.Event.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events as log lines.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, s := range r.Events() {
+		if _, err := fmt.Fprintln(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
