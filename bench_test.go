@@ -10,6 +10,7 @@ package dirq
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -24,9 +25,11 @@ import (
 	"repro/internal/topology"
 )
 
-// benchOptions keeps figure benches affordable.
+// benchOptions keeps figure benches affordable. Workers is pinned to 1 so
+// the per-figure benches measure single-run cost; the *Parallel variants
+// below measure the worker-pool speedup.
 func benchOptions() experiments.Options {
-	return experiments.Options{Seed: 1, NumNodes: 30, Epochs: 800}
+	return experiments.Options{Seed: 1, NumNodes: 30, Epochs: 800, Workers: 1}
 }
 
 func benchScenario() scenario.Config {
@@ -101,6 +104,41 @@ func BenchmarkHeadline(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(r.Rows[0].CostFraction, "cost/flood@20%")
+	}
+}
+
+// BenchmarkFig5aParallel is BenchmarkFig5a with the worker pool opened to
+// every CPU: the sweep's nine independent δ runs fan out concurrently.
+// Compare ns/op against BenchmarkFig5a for the engine speedup.
+func BenchmarkFig5aParallel(b *testing.B) {
+	o := benchOptions()
+	o.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(o, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllExperimentsParallel regenerates every artefact with whole
+// experiments (and their inner sweeps) running concurrently.
+func BenchmarkAllExperimentsParallel(b *testing.B) {
+	o := benchOptions()
+	o.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllExperimentsSequential is the Workers=1 baseline for
+// BenchmarkAllExperimentsParallel.
+func BenchmarkAllExperimentsSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(benchOptions(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

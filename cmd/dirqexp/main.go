@@ -7,6 +7,10 @@
 //	dirqexp -exp all                 # every artefact at paper scale
 //	dirqexp -exp fig6,fig7 -quick    # selected artefacts, reduced scale
 //	dirqexp -exp headline -csv       # CSV instead of aligned text
+//	dirqexp -exp all -workers 4      # cap the simulation worker pool
+//
+// Independent simulation runs execute concurrently (one worker per CPU by
+// default); output is bit-identical whatever the worker count.
 package main
 
 import (
@@ -26,8 +30,9 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+
 		strings.Join(dirq.ExperimentIDs(), ", ")+")")
 	quick := flag.Bool("quick", false, "reduced scale (2 000 epochs instead of 20 000)")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text (with -exp all, runs experiments one after another; sweeps still parallelize)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "max concurrent simulation runs (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	opts := dirq.FullScale()
@@ -35,6 +40,17 @@ func main() {
 		opts = dirq.QuickScale()
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
+
+	if *exp == "all" && !*csv {
+		// RunAll executes whole experiments in parallel (bounded by
+		// -workers across both pool levels) and streams the tables in
+		// canonical order.
+		if err := dirq.AllExperiments(opts, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	ids := dirq.ExperimentIDs()
 	if *exp != "all" {

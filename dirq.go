@@ -70,7 +70,10 @@ func Run(cfg Scenario) (*Result, error) { return scenario.Run(cfg) }
 // to inspect or perturb the network mid-run (see examples/topologychange).
 func Build(cfg Scenario) (*Runner, error) { return scenario.Build(cfg) }
 
-// ExperimentOptions scales experiment runs.
+// ExperimentOptions scales experiment runs. Its Workers field bounds how
+// many simulation runs execute concurrently inside each sweep (0 = one
+// worker per CPU, 1 = sequential); every run derives its randomness from
+// its own seed, so results are bit-identical whatever the worker count.
 type ExperimentOptions = experiments.Options
 
 // FullScale returns the paper-scale experiment options (20 000 epochs).

@@ -1,0 +1,28 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§5 and §7): the analytical cost table with the k=2, d=4
+// worked example, Fig. 5(a)/(b) (effect of δ on accuracy at 40 %/60 %
+// relevant nodes), Fig. 6 (update messages over time, fixed δ vs ATC, with
+// the Umax/Hr band), Fig. 7 (overshoot over time at 20 % relevant nodes),
+// the §1/§7 headline numbers (DirQ cost at 45–55 % of flooding, small ATC
+// overshoot), and the extension experiments (multi-seed robustness,
+// network lifetime, §7.1 selectivity-vs-involvement).
+//
+// # Concurrent experiment engine
+//
+// Every sweep-style experiment is a set of independent simulation runs —
+// nine δ settings for Fig. 5, four threshold configurations for Fig. 6/7,
+// one run per seed for the robustness table, one per strategy for the
+// lifetime comparison. Those runs execute on a worker pool (see pool.go):
+// Options.Workers goroutines (one per CPU by default) claim runs in index
+// order and deposit results order-preservingly, so a parallel sweep is
+// observationally identical to a sequential loop. RunAll additionally runs
+// whole experiments concurrently and renders the tables in canonical IDs()
+// order; a limiter shared across the nested pools keeps the total number
+// of simulations in flight at Options.Workers.
+//
+// Determinism is unconditional: each scenario run seeds its own splittable
+// RNG from cfg.Seed and shares no mutable state with its siblings, so the
+// rendered tables are byte-identical for any worker count (asserted by
+// TestParallelDeterminism). Errors cancel the remaining runs of a sweep
+// via context, and the lowest-index error is reported.
+package experiments

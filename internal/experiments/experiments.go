@@ -1,13 +1,7 @@
-// Package experiments regenerates every table and figure in the paper's
-// evaluation (§5 and §7): the analytical cost table with the k=2, d=4
-// worked example, Fig. 5(a)/(b) (effect of δ on accuracy at 40 %/60 %
-// relevant nodes), Fig. 6 (update messages over time, fixed δ vs ATC, with
-// the Umax/Hr band), Fig. 7 (overshoot over time at 20 % relevant nodes),
-// and the §1/§7 headline numbers (DirQ cost at 45–55 % of flooding, small
-// ATC overshoot).
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -21,6 +15,24 @@ type Options struct {
 	Seed     uint64
 	NumNodes int
 	Epochs   int64
+
+	// Workers bounds how many simulation runs execute concurrently inside
+	// each sweep-style experiment (and how many whole experiments RunAll
+	// executes concurrently). 0 or negative means one worker per available
+	// CPU (runtime.GOMAXPROCS(0)); 1 forces sequential execution. Every
+	// run derives all randomness from its own cfg.Seed, so results are
+	// bit-identical whatever the worker count.
+	Workers int
+
+	// sem, when non-nil, is a shared limiter on simulations in flight.
+	// RunAll installs it so that nesting (experiments in parallel, each
+	// sweeping in parallel) still respects the Workers cap globally.
+	sem chan struct{}
+
+	// ctx, when non-nil, cancels the leaf pools of nested sweeps. RunAll
+	// installs it so that aborting the batch also skips the simulations
+	// still queued inside in-flight experiments.
+	ctx context.Context
 }
 
 // Full returns the paper-scale options: 50 nodes, 20 000 epochs.

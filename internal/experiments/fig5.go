@@ -22,27 +22,32 @@ type Fig5Result struct {
 }
 
 // Fig5 sweeps fixed thresholds δ = 1..9 % at the given relevant-node
-// percentage (0.4 for Fig. 5(a), 0.6 for Fig. 5(b)).
+// percentage (0.4 for Fig. 5(a), 0.6 for Fig. 5(b)). The nine runs are
+// independent and execute on the Options.Workers pool.
 func Fig5(o Options, coverage float64) (*Fig5Result, error) {
-	res := &Fig5Result{Coverage: coverage}
-	for delta := 1; delta <= 9; delta++ {
-		cfg := o.base()
-		cfg.Coverage = coverage
-		cfg.Mode = scenario.FixedDelta
-		cfg.FixedPct = float64(delta)
-		r, err := scenario.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, Fig5Row{
-			DeltaPct:     float64(delta),
-			PctShould:    r.Summary.PctShould,
-			PctReceive:   r.Summary.PctReceived,
-			PctSources:   r.Summary.PctSources,
-			PctShouldNot: r.Summary.PctShouldNot,
+	rows, err := runSims(o, 9,
+		func(i int) (Fig5Row, error) {
+			delta := i + 1
+			cfg := o.base()
+			cfg.Coverage = coverage
+			cfg.Mode = scenario.FixedDelta
+			cfg.FixedPct = float64(delta)
+			r, err := scenario.Run(cfg)
+			if err != nil {
+				return Fig5Row{}, err
+			}
+			return Fig5Row{
+				DeltaPct:     float64(delta),
+				PctShould:    r.Summary.PctShould,
+				PctReceive:   r.Summary.PctReceived,
+				PctSources:   r.Summary.PctSources,
+				PctShouldNot: r.Summary.PctShouldNot,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig5Result{Coverage: coverage, Rows: rows}, nil
 }
 
 // Table renders the panel in the paper's curve order.

@@ -24,35 +24,60 @@ type Fig6Result struct {
 }
 
 // Fig6 runs the four configurations at the given coverage (the paper's
-// panel uses 40 %).
+// panel uses 40 %), in parallel on the Options.Workers pool.
 func Fig6(o Options, coverage float64) (*Fig6Result, error) {
-	res := &Fig6Result{Coverage: coverage}
-	run := func(label string, mode scenario.ThresholdMode, pct float64) error {
-		cfg := o.base()
-		cfg.Coverage = coverage
-		cfg.Mode = mode
-		cfg.FixedPct = pct
-		r, err := scenario.Run(cfg)
-		if err != nil {
-			return err
-		}
-		res.Series = append(res.Series, Fig6Series{Label: label, Buckets: r.UpdateTxPerBucket})
-		if mode == scenario.ATC {
-			res.UmaxPerHour = r.UmaxPerHour
-			res.Band45 = 0.45 * r.UmaxPerHour
-			res.Band55 = 0.55 * r.UmaxPerHour
-		}
-		return nil
+	configs := thresholdSweep()
+	type out struct {
+		series Fig6Series
+		umax   float64
 	}
-	for _, pct := range []float64{3, 5, 9} {
-		if err := run(fmt.Sprintf("delta=%.0f%%", pct), scenario.FixedDelta, pct); err != nil {
-			return nil, err
-		}
-	}
-	if err := run("delta=ATC", scenario.ATC, 0); err != nil {
+	outs, err := runSims(o, len(configs),
+		func(i int) (out, error) {
+			c := configs[i]
+			cfg := o.base()
+			cfg.Coverage = coverage
+			cfg.Mode = c.mode
+			cfg.FixedPct = c.pct
+			r, err := scenario.Run(cfg)
+			if err != nil {
+				return out{}, err
+			}
+			v := out{series: Fig6Series{Label: c.label, Buckets: r.UpdateTxPerBucket}}
+			if c.mode == scenario.ATC {
+				v.umax = r.UmaxPerHour
+			}
+			return v, nil
+		})
+	if err != nil {
 		return nil, err
 	}
+	res := &Fig6Result{Coverage: coverage}
+	for i, v := range outs {
+		res.Series = append(res.Series, v.series)
+		if configs[i].mode == scenario.ATC {
+			res.UmaxPerHour = v.umax
+			res.Band45 = 0.45 * v.umax
+			res.Band55 = 0.55 * v.umax
+		}
+	}
 	return res, nil
+}
+
+// thresholdConfig is one curve of the Fig. 6/7 sweeps.
+type thresholdConfig struct {
+	label string
+	mode  scenario.ThresholdMode
+	pct   float64
+}
+
+// thresholdSweep returns the paper's four threshold configurations in
+// curve order: fixed δ = 3/5/9 % then the ATC.
+func thresholdSweep() []thresholdConfig {
+	var cs []thresholdConfig
+	for _, pct := range []float64{3, 5, 9} {
+		cs = append(cs, thresholdConfig{fmt.Sprintf("delta=%.0f%%", pct), scenario.FixedDelta, pct})
+	}
+	return append(cs, thresholdConfig{"delta=ATC", scenario.ATC, 0})
 }
 
 // Table renders the series as one row per bucket.

@@ -24,34 +24,30 @@ type Fig7Result struct {
 }
 
 // Fig7 runs the four configurations at the given coverage (the paper's
-// panel uses 20 %).
+// panel uses 20 %), in parallel on the Options.Workers pool.
 func Fig7(o Options, coverage float64) (*Fig7Result, error) {
-	res := &Fig7Result{Coverage: coverage}
-	run := func(label string, mode scenario.ThresholdMode, pct float64) error {
-		cfg := o.base()
-		cfg.Coverage = coverage
-		cfg.Mode = mode
-		cfg.FixedPct = pct
-		r, err := scenario.Run(cfg)
-		if err != nil {
-			return err
-		}
-		s := Fig7Series{Label: label, Mean: r.Summary.MeanOvershoot}
-		for _, b := range r.OvershootPerBucket {
-			s.Buckets = append(s.Buckets, b.Mean())
-		}
-		res.Series = append(res.Series, s)
-		return nil
-	}
-	for _, pct := range []float64{3, 5, 9} {
-		if err := run(fmt.Sprintf("delta=%.0f%%", pct), scenario.FixedDelta, pct); err != nil {
-			return nil, err
-		}
-	}
-	if err := run("delta=ATC", scenario.ATC, 0); err != nil {
+	configs := thresholdSweep()
+	series, err := runSims(o, len(configs),
+		func(i int) (Fig7Series, error) {
+			c := configs[i]
+			cfg := o.base()
+			cfg.Coverage = coverage
+			cfg.Mode = c.mode
+			cfg.FixedPct = c.pct
+			r, err := scenario.Run(cfg)
+			if err != nil {
+				return Fig7Series{}, err
+			}
+			s := Fig7Series{Label: c.label, Mean: r.Summary.MeanOvershoot}
+			for _, b := range r.OvershootPerBucket {
+				s.Buckets = append(s.Buckets, b.Mean())
+			}
+			return s, nil
+		})
+	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return &Fig7Result{Coverage: coverage, Series: series}, nil
 }
 
 // Table renders the overshoot series plus the per-series means.

@@ -23,28 +23,34 @@ type HeadlineResult struct {
 	Rows []HeadlineRow
 }
 
-// Headline runs ATC at 20/40/60 % relevant nodes.
+// Headline runs ATC at 20/40/60 % relevant nodes, one coverage level per
+// pool worker.
 func Headline(o Options) (*HeadlineResult, error) {
-	res := &HeadlineResult{}
-	for _, cov := range []float64{0.2, 0.4, 0.6} {
-		cfg := o.base()
-		cfg.Coverage = cov
-		cfg.Mode = scenario.ATC
-		r, err := scenario.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, HeadlineRow{
-			Coverage:      cov,
-			CostFraction:  r.CostFraction,
-			MeanOvershoot: r.Summary.MeanOvershoot,
-			PctShould:     r.Summary.PctShould,
-			PctReceived:   r.Summary.PctReceived,
-			UpdateTx:      r.UpdateCost.Tx,
-			Queries:       r.QueriesInjected,
+	coverages := []float64{0.2, 0.4, 0.6}
+	rows, err := runSims(o, len(coverages),
+		func(i int) (HeadlineRow, error) {
+			cov := coverages[i]
+			cfg := o.base()
+			cfg.Coverage = cov
+			cfg.Mode = scenario.ATC
+			r, err := scenario.Run(cfg)
+			if err != nil {
+				return HeadlineRow{}, err
+			}
+			return HeadlineRow{
+				Coverage:      cov,
+				CostFraction:  r.CostFraction,
+				MeanOvershoot: r.Summary.MeanOvershoot,
+				PctShould:     r.Summary.PctShould,
+				PctReceived:   r.Summary.PctReceived,
+				UpdateTx:      r.UpdateCost.Tx,
+				Queries:       r.QueriesInjected,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &HeadlineResult{Rows: rows}, nil
 }
 
 // Table renders the headline summary.

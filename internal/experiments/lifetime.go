@@ -23,40 +23,45 @@ type LifetimeResult struct {
 	Rows     []LifetimeRow
 }
 
-// Lifetime runs the comparison. Battery capacity is sized so the flooding
-// network starts dying within the run.
+// Lifetime runs the comparison, one strategy per pool worker. Battery
+// capacity is sized so the flooding network starts dying within the run.
 func Lifetime(o Options) (*LifetimeResult, error) {
 	res := &LifetimeResult{Epochs: o.Epochs}
 	// Flooding drains roughly (1 + mean degree) units per node per query;
 	// size capacity to ~40 % of the flooding total so deaths happen mid-run.
 	res.Capacity = float64(o.Epochs) / 20 * 9 * 0.4
 
-	run := func(label string, floodMode bool, mode scenario.ThresholdMode) error {
-		cfg := o.base()
-		cfg.EnergyCapacity = res.Capacity
-		cfg.DisseminateByFlooding = floodMode
-		cfg.Mode = mode
-		r, err := scenario.Run(cfg)
-		if err != nil {
-			return err
-		}
-		res.Rows = append(res.Rows, LifetimeRow{
-			Strategy:        label,
-			FirstDeathEpoch: r.FirstDeathEpoch,
-			DeadAtEnd:       r.DeadAtEnd,
-			CostFraction:    r.CostFraction,
+	strategies := []struct {
+		label     string
+		floodMode bool
+		mode      scenario.ThresholdMode
+	}{
+		{"flooding", true, scenario.FixedDelta},
+		{"dirq-fixed-5%", false, scenario.FixedDelta},
+		{"dirq-atc", false, scenario.ATC},
+	}
+	rows, err := runSims(o, len(strategies),
+		func(i int) (LifetimeRow, error) {
+			s := strategies[i]
+			cfg := o.base()
+			cfg.EnergyCapacity = res.Capacity
+			cfg.DisseminateByFlooding = s.floodMode
+			cfg.Mode = s.mode
+			r, err := scenario.Run(cfg)
+			if err != nil {
+				return LifetimeRow{}, err
+			}
+			return LifetimeRow{
+				Strategy:        s.label,
+				FirstDeathEpoch: r.FirstDeathEpoch,
+				DeadAtEnd:       r.DeadAtEnd,
+				CostFraction:    r.CostFraction,
+			}, nil
 		})
-		return nil
-	}
-	if err := run("flooding", true, scenario.FixedDelta); err != nil {
+	if err != nil {
 		return nil, err
 	}
-	if err := run("dirq-fixed-5%", false, scenario.FixedDelta); err != nil {
-		return nil, err
-	}
-	if err := run("dirq-atc", false, scenario.ATC); err != nil {
-		return nil, err
-	}
+	res.Rows = rows
 	return res, nil
 }
 

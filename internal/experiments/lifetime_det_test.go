@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLifetimeInProcessDeterminism(t *testing.T) {
+	render := func() []byte {
+		o := tiny()
+		o.Workers = 3
+		tb, err := Run(IDLifetime, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tb.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); !bytes.Equal(first, got) {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i+2, first, got)
+		}
+	}
+}

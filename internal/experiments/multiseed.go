@@ -26,24 +26,33 @@ type MultiSeedResult struct {
 }
 
 // MultiSeed runs the given configuration across `seeds` consecutive seeds
-// and summarizes the distributions of the headline metrics.
+// and summarizes the distributions of the headline metrics. The per-seed
+// runs are independent and execute on the Options.Workers pool.
 func MultiSeed(o Options, mode scenario.ThresholdMode, coverage float64, seeds int) (*MultiSeedResult, error) {
 	if seeds < 2 {
 		return nil, fmt.Errorf("experiments: need >= 2 seeds, got %d", seeds)
 	}
+	type sample struct{ cost, shoot, update float64 }
+	samples, err := runSims(o, seeds,
+		func(s int) (sample, error) {
+			cfg := o.base()
+			cfg.Seed = o.Seed + uint64(s)
+			cfg.Mode = mode
+			cfg.Coverage = coverage
+			r, err := scenario.Run(cfg)
+			if err != nil {
+				return sample{}, err
+			}
+			return sample{r.CostFraction, r.Summary.MeanOvershoot, float64(r.UpdateCost.Tx)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var costs, shoots, updates []float64
-	for s := 0; s < seeds; s++ {
-		cfg := o.base()
-		cfg.Seed = o.Seed + uint64(s)
-		cfg.Mode = mode
-		cfg.Coverage = coverage
-		r, err := scenario.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		costs = append(costs, r.CostFraction)
-		shoots = append(shoots, r.Summary.MeanOvershoot)
-		updates = append(updates, float64(r.UpdateCost.Tx))
+	for _, s := range samples {
+		costs = append(costs, s.cost)
+		shoots = append(shoots, s.shoot)
+		updates = append(updates, s.update)
 	}
 	return &MultiSeedResult{
 		Seeds:        seeds,

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the Options.Workers knob: 0 or negative means one
+// worker per available CPU (runtime.GOMAXPROCS(0)).
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runSims fans the n simulation runs of one sweep out on the worker pool.
+// Each job is a leaf: it executes exactly one simulation. When the sweep
+// is nested inside RunAll, the jobs additionally acquire a slot on the
+// shared Options.sem limiter — so Workers caps the number of *simulations*
+// in flight across the whole process rather than per pool level — and
+// inherit the batch's Options.ctx, so aborting the batch skips the
+// sweep's still-queued runs.
+func runSims[T any](o Options, n int, job func(i int) (T, error)) ([]T, error) {
+	parent := o.ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	return runJobs(parent, o.workers(), n,
+		func(ctx context.Context, i int) (T, error) {
+			if o.sem != nil {
+				select {
+				case o.sem <- struct{}{}:
+					defer func() { <-o.sem }()
+				case <-ctx.Done():
+					var zero T
+					return zero, ctx.Err()
+				}
+			}
+			return job(i)
+		})
+}
+
+// runJobs fans n independent jobs out across at most `workers` goroutines
+// and collects their results order-preservingly: result i always lands in
+// slot i of the returned slice, regardless of which worker computed it or
+// when it finished, so parallel execution is observationally identical to
+// a sequential loop.
+//
+// Jobs are claimed in index order from a shared counter. When a job fails,
+// the pool cancels ctx so running jobs can bail early and unclaimed jobs
+// are never started; after all workers drain, the lowest-index job error
+// is returned (deterministic even when several jobs fail concurrently).
+// When the parent ctx is cancelled first, remaining jobs are skipped and
+// ctx.Err() is returned. A nil error means every slot of the result slice
+// is filled.
+func runJobs[T any](ctx context.Context, workers, n int, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				r, err := job(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	// Prefer the lowest-index real failure: a job cancelled while waiting
+	// out another job's error reports context.Canceled, which must not
+	// mask the error that triggered the cancellation.
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return results, err
+		}
+		if cancelled == nil {
+			cancelled = err
+		}
+	}
+	if cancelled != nil {
+		return results, cancelled
+	}
+	return results, ctx.Err()
+}

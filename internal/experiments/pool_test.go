@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// renderByID runs one experiment with the given worker count and returns
+// its rendered table bytes.
+func renderByID(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	o := tiny()
+	o.Workers = workers
+	tb, err := Run(id, o)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", id, workers, err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism is the engine's core guarantee: every run owns
+// its seed-derived RNG, so fanning runs out across workers must leave the
+// rendered tables byte-identical to sequential execution.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{IDSeeds, IDFig5a, IDSelect} {
+		t.Run(id, func(t *testing.T) {
+			seq := renderByID(t, id, 1)
+			par := renderByID(t, id, 8)
+			if !bytes.Equal(seq, par) {
+				t.Fatalf("workers=8 output differs from workers=1:\n--- sequential\n%s\n--- parallel\n%s", seq, par)
+			}
+		})
+	}
+}
+
+func TestRunAllParallelDeterminism(t *testing.T) {
+	render := func(workers int) []byte {
+		o := tiny()
+		o.Workers = workers
+		var buf bytes.Buffer
+		if err := RunAll(o, &buf); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	if seq, par := render(1), render(4); !bytes.Equal(seq, par) {
+		t.Fatal("RunAll output depends on worker count")
+	}
+}
+
+func TestPoolOrderPreserving(t *testing.T) {
+	results, err := runJobs(context.Background(), 4, 32,
+		func(_ context.Context, i int) (int, error) {
+			// Finish in roughly reverse claim order to stress collection.
+			time.Sleep(time.Duration(32-i) * 100 * time.Microsecond)
+			return i * i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, r, i*i)
+		}
+	}
+}
+
+func TestPoolFirstErrorPropagation(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("job %d failed", i) }
+	var started int32
+	_, err := runJobs(context.Background(), 2, 100,
+		func(_ context.Context, i int) (struct{}, error) {
+			atomic.AddInt32(&started, 1)
+			if i == 3 || i == 5 {
+				return struct{}{}, boom(i)
+			}
+			return struct{}{}, nil
+		})
+	if err == nil {
+		t.Fatal("no error propagated")
+	}
+	if got, lo, hi := err.Error(), boom(3).Error(), boom(5).Error(); got != lo && got != hi {
+		t.Fatalf("unexpected error %q", got)
+	}
+	// The failure must cancel the sweep long before all 100 jobs start.
+	if n := atomic.LoadInt32(&started); n == 100 {
+		t.Fatal("error did not stop the pool")
+	}
+}
+
+func TestPoolLowestIndexErrorWins(t *testing.T) {
+	// Both failing jobs run concurrently; the reported error must
+	// deterministically be the lowest-index one.
+	var gate = make(chan struct{})
+	_, err := runJobs(context.Background(), 2, 2,
+		func(_ context.Context, i int) (struct{}, error) {
+			if i == 0 {
+				<-gate // fail strictly after job 1
+				return struct{}{}, errors.New("low")
+			}
+			defer close(gate)
+			return struct{}{}, errors.New("high")
+		})
+	if err == nil || err.Error() != "low" {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestPoolCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started int32
+	done := make(chan error, 1)
+	go func() {
+		_, err := runJobs(ctx, 2, 64,
+			func(ctx context.Context, i int) (struct{}, error) {
+				atomic.AddInt32(&started, 1)
+				select {
+				case <-release:
+				case <-ctx.Done():
+				}
+				return struct{}{}, nil
+			})
+		done <- err
+	}()
+	// Let both workers claim a job, then cancel.
+	for atomic.LoadInt32(&started) < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool did not return after cancellation")
+	}
+	if n := atomic.LoadInt32(&started); n > 4 {
+		t.Fatalf("%d jobs started after cancellation, want the claimed few", n)
+	}
+	close(release)
+}
+
+func TestPoolEmptyAndWorkerClamp(t *testing.T) {
+	res, err := runJobs(context.Background(), 8, 0,
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty pool: %v %v", res, err)
+	}
+	// More workers than jobs, and the GOMAXPROCS default path.
+	for _, w := range []int{99, 0, -1} {
+		res, err := runJobs(context.Background(), w, 3,
+			func(_ context.Context, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 3 || res[0] != 0 || res[2] != 2 {
+			t.Fatalf("workers=%d: %v", w, res)
+		}
+	}
+}
+
+func TestRunSimsSharedLimiter(t *testing.T) {
+	// With a shared semaphore of 2, no more than 2 leaf jobs may run at
+	// once even though the pool itself opens 8 workers — the RunAll
+	// nesting guarantee.
+	o := Options{Workers: 8, sem: make(chan struct{}, 2)}
+	var cur, peak int32
+	_, err := runSims(o, 24, func(i int) (struct{}, error) {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt32(&peak); p > 2 {
+		t.Fatalf("%d leaf jobs in flight, limiter allows 2", p)
+	}
+}
+
+func TestPoolCancelledJobDoesNotMaskRealError(t *testing.T) {
+	// Job 1 parks (as a limiter wait would) and wakes up cancelled when
+	// job 2 fails. Its context.Canceled sits at a lower index than the
+	// real failure, which must still be the reported error.
+	parked := make(chan struct{})
+	_, err := runJobs(context.Background(), 2, 3,
+		func(ctx context.Context, i int) (struct{}, error) {
+			switch i {
+			case 1:
+				close(parked)
+				<-ctx.Done()
+				return struct{}{}, ctx.Err()
+			case 2:
+				<-parked
+				return struct{}{}, errors.New("real failure")
+			}
+			return struct{}{}, nil
+		})
+	if err == nil || err.Error() != "real failure" {
+		t.Fatalf("got %v, want the real failure", err)
+	}
+}
+
+func TestOptionsWorkersResolution(t *testing.T) {
+	if (Options{Workers: 7}).workers() != 7 {
+		t.Fatal("explicit worker count not honoured")
+	}
+	if (Options{}).workers() < 1 {
+		t.Fatal("default worker count must be at least 1")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -90,16 +91,74 @@ func Run(id string, o Options) (*Table, error) {
 	}
 }
 
-// RunAll executes every experiment and renders each table to w.
+// RunAll executes every experiment — whole experiments in parallel, each
+// internally fanning its own runs out — and renders the tables to w in
+// canonical IDs() order. A limiter shared across both pool levels keeps
+// the number of simulations in flight at Options.Workers despite the
+// nesting. Rendering streams: each table is written as soon as it and
+// every table before it are done, and on failure the completed prefix has
+// already reached w.
 func RunAll(o Options, w io.Writer) error {
-	for _, id := range IDs() {
-		t, err := Run(id, o)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+	o.sem = make(chan struct{}, o.workers())
+	ids := IDs()
+	tables := make([]*Table, len(ids))
+	ready := make([]chan struct{}, len(ids))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	poolDone := make(chan error, 1)
+	go func() {
+		_, err := runJobs(ctx, o.workers(), len(ids),
+			func(jobCtx context.Context, i int) (struct{}, error) {
+				// Hand each experiment the pool's own cancellable context:
+				// a sibling's failure then aborts this experiment's queued
+				// leaf simulations too, not just unclaimed experiments.
+				oi := o
+				oi.ctx = jobCtx
+				t, err := Run(ids[i], oi)
+				if err != nil {
+					return struct{}{}, fmt.Errorf("%s: %w", ids[i], err)
+				}
+				tables[i] = t
+				close(ready[i])
+				return struct{}{}, nil
+			})
+		poolDone <- err
+	}()
+
+	var poolErr error
+	poolRunning := true
+render:
+	for i := range ids {
+		if poolRunning {
+			select {
+			case <-ready[i]:
+			case poolErr = <-poolDone:
+				poolRunning = false
+			}
 		}
-		if err := t.Render(w); err != nil {
+		if !poolRunning {
+			// Pool already drained (possibly with an error): render the
+			// contiguous completed prefix and stop at the first gap, so a
+			// failure never yields out-of-sequence tables.
+			select {
+			case <-ready[i]:
+			default:
+				break render
+			}
+		}
+		if err := tables[i].Render(w); err != nil {
+			cancel()
+			if poolRunning {
+				<-poolDone
+			}
 			return err
 		}
 	}
-	return nil
+	if poolRunning {
+		poolErr = <-poolDone
+	}
+	return poolErr
 }

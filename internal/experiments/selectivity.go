@@ -37,6 +37,11 @@ type SelectivityResult struct {
 // Selectivity builds a fresh network, then evaluates many random value
 // windows of varying width against ground truth (no dissemination needed:
 // the claim is about workload structure, not protocol behaviour).
+//
+// Query generation is inherently sequential — each draw advances the
+// shared data generator and RNG — so it runs first, snapshotting the
+// sensor field each query sees. The expensive ground-truth resolutions
+// are then fanned out across the Options.Workers pool.
 func Selectivity(o Options, queries int) (*SelectivityResult, error) {
 	if queries < 10 {
 		return nil, fmt.Errorf("experiments: need >= 10 queries, got %d", queries)
@@ -51,8 +56,11 @@ func Selectivity(o Options, queries int) (*SelectivityResult, error) {
 	rng := sim.NewRNG(o.Seed).Stream("selectivity")
 	n := r.Graph.Len()
 
-	type sample struct{ sel, inv float64 }
-	var samples []sample
+	type spec struct {
+		q    query.Query
+		vals []float64 // per-node readings of q.Type at draw time
+	}
+	specs := make([]spec, queries)
 	for i := 0; i < queries; i++ {
 		// Advance the data a little between draws.
 		for s := 0; s < 5; s++ {
@@ -62,16 +70,38 @@ func Selectivity(o Options, queries int) (*SelectivityResult, error) {
 		lo, hi := ty.Span()
 		centre := rng.Range(lo, hi)
 		width := rng.Range(0, (hi-lo)/2)
-		q := query.Query{ID: int64(i), Type: ty, Lo: centre - width, Hi: centre + width}
-		gt := query.Resolve(q, r.Tree, r.Mounted,
-			func(id topology.NodeID) float64 { return r.Gen.Value(id, ty) })
-		if len(gt.Sources) == 0 {
-			continue
+		specs[i] = spec{
+			q:    query.Query{ID: int64(i), Type: ty, Lo: centre - width, Hi: centre + width},
+			vals: r.Gen.Values(ty),
 		}
-		samples = append(samples, sample{
-			sel: float64(len(gt.Sources)) / float64(n-1),
-			inv: gt.InvolvedFraction(n),
+	}
+
+	type sample struct {
+		sel, inv float64
+		ok       bool // false when the query matched no sources
+	}
+	resolved, err := runSims(o, queries,
+		func(i int) (sample, error) {
+			sp := specs[i]
+			gt := query.Resolve(sp.q, r.Tree, r.Mounted,
+				func(id topology.NodeID) float64 { return sp.vals[id] })
+			if len(gt.Sources) == 0 {
+				return sample{}, nil
+			}
+			return sample{
+				sel: float64(len(gt.Sources)) / float64(n-1),
+				inv: gt.InvolvedFraction(n),
+				ok:  true,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
+	}
+	var samples []sample
+	for _, s := range resolved {
+		if s.ok {
+			samples = append(samples, s)
+		}
 	}
 
 	res := &SelectivityResult{Queries: len(samples)}

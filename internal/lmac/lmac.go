@@ -268,12 +268,20 @@ func (m *MAC) RunFrame() {
 		if !st.registered || !m.channel.Alive(topology.NodeID(i)) {
 			continue
 		}
+		// Sweep in sorted neighbour order: map iteration order would
+		// randomize which same-frame death fires onDead first, making
+		// the tree surgery — and the whole run — nondeterministic.
+		var dead []topology.NodeID
 		for nb, last := range st.lastHeard {
 			if m.frame-last >= m.deadThreshold {
-				delete(st.lastHeard, nb)
-				if m.onDead != nil {
-					m.onDead(topology.NodeID(i), nb)
-				}
+				dead = append(dead, nb)
+			}
+		}
+		sort.Slice(dead, func(a, b int) bool { return dead[a] < dead[b] })
+		for _, nb := range dead {
+			delete(st.lastHeard, nb)
+			if m.onDead != nil {
+				m.onDead(topology.NodeID(i), nb)
 			}
 		}
 	}
