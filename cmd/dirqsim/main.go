@@ -4,10 +4,14 @@
 // Usage:
 //
 //	dirqsim [-nodes 50] [-epochs 20000] [-coverage 0.4] [-mode fixed|atc]
-//	        [-delta 5] [-rho 0.4] [-seed 1] [-hetero] [-loss 0] [-v]
+//	        [-delta 5] [-rho 0.4] [-seed 1] [-hetero] [-loss 0] [-v] [-json]
+//
+// -json replaces the human-readable summary with one machine-readable
+// JSON object (the -csv counterpart on dirqexp).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -15,6 +19,31 @@ import (
 
 	dirq "repro"
 )
+
+// jsonSummary is the machine-readable form of one run, emitted by -json.
+type jsonSummary struct {
+	Nodes           int     `json:"nodes"`
+	Epochs          int64   `json:"epochs"`
+	Seed            uint64  `json:"seed"`
+	Mode            string  `json:"mode"`
+	DeltaPct        float64 `json:"delta_pct,omitempty"`
+	Rho             float64 `json:"rho,omitempty"`
+	Coverage        float64 `json:"coverage"`
+	TreeDepth       int     `json:"tree_depth"`
+	TreeInternal    int     `json:"tree_internal"`
+	QueriesInjected int     `json:"queries_injected"`
+	PctShould       float64 `json:"pct_should"`
+	PctReceived     float64 `json:"pct_received"`
+	PctSources      float64 `json:"pct_sources"`
+	MeanOvershoot   float64 `json:"mean_overshoot_pct"`
+	QueryCost       int64   `json:"query_cost"`
+	UpdateCost      int64   `json:"update_cost"`
+	UpdateMessages  int64   `json:"update_messages"`
+	EstimateCost    int64   `json:"estimate_cost"`
+	FloodCost       int64   `json:"flood_cost"`
+	CostFraction    float64 `json:"cost_fraction"`
+	UmaxPerHour     float64 `json:"umax_per_hour"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -33,6 +62,7 @@ func main() {
 	interval := flag.Int64("interval", cfg.QueryInterval, "epochs between queries")
 	verbose := flag.Bool("v", false, "print per-bucket update counts")
 	traceN := flag.Int("trace", 0, "print the last N protocol events")
+	asJSON := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
 	flag.Parse()
 
 	cfg.NumNodes = *nodes
@@ -61,6 +91,42 @@ func main() {
 		log.Fatal(err)
 	}
 	res := runner.Run()
+
+	if *asJSON {
+		s := jsonSummary{
+			Nodes:           cfg.NumNodes,
+			Epochs:          cfg.Epochs,
+			Seed:            cfg.Seed,
+			Mode:            cfg.Mode.String(),
+			Coverage:        cfg.Coverage,
+			TreeDepth:       res.TreeDepth,
+			TreeInternal:    res.TreeInternal,
+			QueriesInjected: res.QueriesInjected,
+			PctShould:       res.Summary.PctShould,
+			PctReceived:     res.Summary.PctReceived,
+			PctSources:      res.Summary.PctSources,
+			MeanOvershoot:   res.Summary.MeanOvershoot,
+			QueryCost:       res.QueryCost.Total(),
+			UpdateCost:      res.UpdateCost.Total(),
+			UpdateMessages:  res.UpdateCost.Tx,
+			EstimateCost:    res.EstimateCost.Total(),
+			FloodCost:       res.FloodCost,
+			CostFraction:    res.CostFraction,
+			UmaxPerHour:     res.UmaxPerHour,
+		}
+		switch cfg.Mode {
+		case dirq.FixedDelta:
+			s.DeltaPct = cfg.FixedPct
+		case dirq.ATC:
+			s.Rho = cfg.Rho
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	fmt.Printf("DirQ simulation: %d nodes, %d epochs, coverage %.0f%%, mode %s",
 		cfg.NumNodes, cfg.Epochs, cfg.Coverage*100, cfg.Mode)

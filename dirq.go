@@ -20,6 +20,9 @@
 //     §5 analytical table.
 //   - The analytic cost-model functions CFTotal, CQDMax, CUDMax, FMax.
 //
+// Beyond batch runs, cmd/dirqd (over internal/serve) hosts live networks
+// and answers ad-hoc range queries from external clients over HTTP.
+//
 // Quickstart:
 //
 //	cfg := dirq.DefaultScenario()
@@ -83,7 +86,7 @@ func FullScale() ExperimentOptions { return experiments.Full() }
 func QuickScale() ExperimentOptions { return experiments.Quick() }
 
 // ExperimentIDs lists the reproducible artefacts: fig5a, fig5b, fig6,
-// fig7, analytic, headline.
+// fig7, analytic, headline, lifetime, seeds, selectivity.
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // ExperimentTable is a rendered experiment result.

@@ -116,6 +116,12 @@ type Config struct {
 	// comparisons against the same workload.
 	DisseminateByFlooding bool
 
+	// DisableWorkload suppresses the built-in coverage-targeted query
+	// workload. Queries then enter the network only through explicit
+	// Runner.Inject calls — the live query-serving path (internal/serve),
+	// where clients, not the simulation, decide what to ask and when.
+	DisableWorkload bool
+
 	// TraceCapacity, when positive, records the most recent protocol
 	// events (updates, deliveries, deaths, re-attachments) into a ring
 	// buffer exposed as Runner.Trace.
@@ -260,7 +266,12 @@ type Result struct {
 }
 
 // Runner holds a fully built simulation, exposed so tests and examples can
-// poke at intermediate state. Create with Build, run with Run.
+// poke at intermediate state. Create with Build, then either run to the
+// horizon in one shot with Run, or drive it incrementally: Start once,
+// Step repeatedly (injecting queries between steps with Inject), and
+// Snapshot whenever a Result is wanted. Both drive styles execute the
+// identical event sequence, so a Step-driven run with the same injected
+// workload reproduces Run's Result bit for bit.
 type Runner struct {
 	Cfg     Config
 	Engine  *sim.Engine
@@ -276,6 +287,7 @@ type Runner struct {
 
 	Trace *trace.Recorder
 
+	started    bool
 	gate       *sampling.Gate
 	bank       *energy.Bank
 	prevCosts  []radio.Cost
@@ -428,8 +440,70 @@ func Build(cfg Config) (*Runner, error) {
 	}, nil
 }
 
-// Run executes the configured number of epochs and produces the Result.
-func (r *Runner) Run() *Result {
+// Inject disseminates q immediately at the current epoch (directed, or
+// network-wide in the flooding-baseline mode), registers its ground truth
+// for accuracy accounting, and accrues the flooding-baseline cost. The
+// returned record fills in as the query propagates over subsequent
+// epochs; floodCost is what flooding this one query would have cost.
+//
+// The built-in workload uses this same path; external callers (the live
+// serving layer) may call it between Step calls to admit client queries
+// at epoch boundaries. Query IDs must be unique across the run.
+func (r *Runner) Inject(q query.Query, truth query.GroundTruth) (rec *core.QueryRecord, floodCost int64) {
+	now := r.Engine.Now()
+	if r.Cfg.DisseminateByFlooding {
+		fr := flood.Disseminate(r.Channel, topology.Root, core.QueryMsg{Q: q})
+		rec = &core.QueryRecord{
+			Query: q, Truth: truth, InjectedAt: now,
+			Received: map[topology.NodeID]bool{},
+			Sources:  map[topology.NodeID]bool{},
+		}
+		for _, id := range fr.Reached {
+			if id != topology.Root {
+				rec.Received[id] = true
+			}
+		}
+		for _, src := range truth.Sources {
+			if rec.Received[src] {
+				rec.Sources[src] = true
+			}
+		}
+		r.records = append(r.records, rec)
+	} else {
+		rec = r.Proto.InjectQuery(q, truth)
+		r.records = append(r.records, rec)
+	}
+	r.queries++
+	floodCost = flood.CostOnly(r.Graph, r.Channel.Alive, topology.Root).Total()
+	r.flooded += floodCost
+	return rec, floodCost
+}
+
+// NextWorkloadQuery draws the next query from the built-in workload
+// generator without injecting it, for callers that drive injection
+// themselves (e.g. a DisableWorkload run fed at chosen epochs).
+func (r *Runner) NextWorkloadQuery() (query.Query, query.GroundTruth) {
+	return r.workload.Next(r.Gen, r.Tree, r.Mounted)
+}
+
+// Resolve computes the ground truth of an arbitrary query against the
+// current state of the dataset — what Inject needs for a client-supplied
+// query that did not come out of the built-in workload.
+func (r *Runner) Resolve(q query.Query) query.GroundTruth {
+	return query.Resolve(q, r.Tree, r.Mounted, func(id topology.NodeID) float64 {
+		return r.Gen.Value(id, q.Type)
+	})
+}
+
+// Start arms the simulation: the protocol and MAC begin, and the query
+// workload (unless Cfg.DisableWorkload), per-bucket metric sampling, and
+// energy accounting are scheduled. Call exactly once, then drive the
+// clock with Step.
+func (r *Runner) Start() {
+	if r.started {
+		panic("scenario: Runner.Start called twice")
+	}
+	r.started = true
 	cfg := r.Cfg
 	r.Proto.Start()
 	r.MAC.Start()
@@ -437,45 +511,24 @@ func (r *Runner) Run() *Result {
 	// Query injections: every QueryInterval epochs after warm-up, at
 	// application priority but after the epoch's sensor acquisition
 	// (priority +1 keeps it within the same tick, after readings).
-	var inject func()
-	inject = func() {
-		now := r.Engine.Now()
-		q, truth := r.workload.Next(r.Gen, r.Tree, r.Mounted)
-		if cfg.DisseminateByFlooding {
-			fr := flood.Disseminate(r.Channel, topology.Root, core.QueryMsg{Q: q})
-			rec := &core.QueryRecord{
-				Query: q, Truth: truth, InjectedAt: now,
-				Received: map[topology.NodeID]bool{},
-				Sources:  map[topology.NodeID]bool{},
+	if !cfg.DisableWorkload {
+		var inject func()
+		inject = func() {
+			now := r.Engine.Now()
+			q, truth := r.workload.Next(r.Gen, r.Tree, r.Mounted)
+			r.Inject(q, truth)
+			next := now + sim.Time(cfg.intervalAt(int64(now)))
+			if int64(next) < cfg.Epochs {
+				r.Engine.SchedulePrio(next, lmac.PrioApp+1, inject)
 			}
-			for _, id := range fr.Reached {
-				if id != topology.Root {
-					rec.Received[id] = true
-				}
-			}
-			for _, src := range truth.Sources {
-				if rec.Received[src] {
-					rec.Sources[src] = true
-				}
-			}
-			r.records = append(r.records, rec)
-		} else {
-			rec := r.Proto.InjectQuery(q, truth)
-			r.records = append(r.records, rec)
 		}
-		r.queries++
-		r.flooded += flood.CostOnly(r.Graph, r.Channel.Alive, topology.Root).Total()
-		next := now + sim.Time(cfg.intervalAt(int64(now)))
-		if int64(next) < cfg.Epochs {
-			r.Engine.SchedulePrio(next, lmac.PrioApp+1, inject)
+		first := sim.Time(cfg.WarmupEpochs)
+		if first == 0 {
+			first = sim.Time(cfg.QueryInterval)
 		}
-	}
-	first := sim.Time(cfg.WarmupEpochs)
-	if first == 0 {
-		first = sim.Time(cfg.QueryInterval)
-	}
-	if int64(first) < cfg.Epochs {
-		r.Engine.SchedulePrio(first, lmac.PrioApp+1, inject)
+		if int64(first) < cfg.Epochs {
+			r.Engine.SchedulePrio(first, lmac.PrioApp+1, inject)
+		}
 	}
 
 	// Per-bucket sampling of update traffic and mean δ, at end-of-epoch
@@ -533,13 +586,58 @@ func (r *Runner) Run() *Result {
 		}
 		r.Engine.SchedulePrio(0, lmac.PrioMetrics, energyTick)
 	}
-
-	r.Engine.RunUntil(sim.Time(cfg.Epochs))
-	return r.collect()
 }
 
-// collect evaluates all query records and assembles the Result.
-func (r *Runner) collect() *Result {
+// Step advances the simulation by up to n epochs, stopping at the
+// configured horizon (Cfg.Epochs). It returns the number of epochs
+// actually advanced — 0 once the horizon is reached. Start must have
+// been called.
+func (r *Runner) Step(n int64) int64 {
+	if !r.started {
+		panic("scenario: Runner.Step before Start")
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("scenario: Runner.Step(%d) negative", n))
+	}
+	now := int64(r.Engine.Now())
+	target := now + n
+	if target > r.Cfg.Epochs {
+		target = r.Cfg.Epochs
+	}
+	if target <= now {
+		return 0
+	}
+	r.Engine.RunUntil(sim.Time(target))
+	return target - now
+}
+
+// Epoch returns the current simulation epoch.
+func (r *Runner) Epoch() int64 { return int64(r.Engine.Now()) }
+
+// Done reports whether the simulation has reached its horizon.
+func (r *Runner) Done() bool { return int64(r.Engine.Now()) >= r.Cfg.Epochs }
+
+// QueriesInjected returns the number of queries injected so far.
+func (r *Runner) QueriesInjected() int { return r.queries }
+
+// FloodBaseline returns the cumulative cost flooding would have incurred
+// for every query injected so far — the denominator of the paper's
+// headline cost fraction.
+func (r *Runner) FloodBaseline() int64 { return r.flooded }
+
+// Run executes the configured number of epochs and produces the Result.
+// It is equivalent to Start, Step to the horizon, Snapshot.
+func (r *Runner) Run() *Result {
+	r.Start()
+	r.Step(r.Cfg.Epochs)
+	return r.Snapshot()
+}
+
+// Snapshot evaluates all query records injected so far and assembles a
+// Result. It does not mutate the simulation and may be called at any
+// point of an incrementally driven run — queries still in flight are
+// evaluated against what they have reached so far.
+func (r *Runner) Snapshot() *Result {
 	cfg := r.Cfg
 	res := &Result{
 		Config:          cfg,

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a small Go client for a dirqd endpoint — the programmatic
+// counterpart of `curl`. The zero value is not usable; construct with
+// NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a dirqd base URL (e.g. "http://127.0.0.1:8080").
+// httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Query submits one range query and waits for the answer.
+func (c *Client) Query(ctx context.Context, req QueryRequestWire) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	var resp Response
+	if err := c.do(hreq, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// QueryRange is the common case: a range query on one sensor type,
+// routed round-robin.
+func (c *Client) QueryRange(ctx context.Context, typ string, lo, hi float64) (*Response, error) {
+	return c.Query(ctx, QueryRequestWire{Type: typ, Lo: &lo, Hi: &hi})
+}
+
+// Stats fetches the live per-shard counters.
+func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var reply StatsReply
+	if err := c.do(hreq, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Healthz checks daemon liveness, returning an error unless every shard
+// loop is running.
+func (c *Client) Healthz(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	var reply HealthReply
+	return c.do(hreq, &reply)
+}
+
+// Shards lists the hosted shards.
+func (c *Client) Shards(ctx context.Context) ([]ShardInfo, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/shards", nil)
+	if err != nil {
+		return nil, err
+	}
+	var infos []ShardInfo
+	if err := c.do(hreq, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// do executes one request and decodes the JSON reply, surfacing the
+// server's error message on non-2xx statuses.
+func (c *Client) do(hreq *http.Request, out any) error {
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, 10<<20))
+	if err != nil {
+		return err
+	}
+	if hresp.StatusCode/100 != 2 {
+		var er errorReply
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return fmt.Errorf("serve: %s: %s", hresp.Status, er.Error)
+		}
+		return fmt.Errorf("serve: %s", hresp.Status)
+	}
+	return json.Unmarshal(body, out)
+}

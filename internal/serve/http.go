@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// QueryRequestWire is the JSON body of POST /query. Lo/Hi default to the
+// sensor type's physical span when omitted.
+type QueryRequestWire struct {
+	Shard string   `json:"shard,omitempty"`
+	Type  string   `json:"type"`
+	Lo    *float64 `json:"lo,omitempty"`
+	Hi    *float64 `json:"hi,omitempty"`
+	// TimeoutMs bounds the server-side wait for the answer (default
+	// 30000).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// StatsReply is the JSON body of GET /stats.
+type StatsReply struct {
+	Shards []ShardStats `json:"shards"`
+}
+
+// HealthReply is the JSON body of GET /healthz.
+type HealthReply struct {
+	Status string          `json:"status"` // "ok" or "degraded"
+	Shards map[string]bool `json:"shards"` // shard ID -> loop running
+}
+
+// ShardInfo describes one hosted shard for GET /shards.
+type ShardInfo struct {
+	ID           string `json:"id"`
+	Nodes        int    `json:"nodes"`
+	Seed         uint64 `json:"seed"`
+	Mode         string `json:"mode"`
+	StepEpochs   int64  `json:"step_epochs"`
+	SettleEpochs int64  `json:"settle_epochs"`
+	Horizon      int64  `json:"horizon_epochs"`
+}
+
+// errorReply is the JSON body of every non-2xx response.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+const defaultQueryTimeout = 30 * time.Second
+
+// NewHandler exposes a Manager over HTTP:
+//
+//	POST /query    admit one range query, wait for its answer
+//	GET  /stats    live per-shard counters (accuracy, cost vs flooding)
+//	GET  /healthz  liveness of every shard loop
+//	GET  /shards   static shard descriptions
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var wire QueryRequestWire
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		req, timeout, err := wire.toRequest()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		resp, err := m.Query(ctx, req)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, resp)
+		case errors.Is(err, ErrNoSuchShard):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrHorizonReached):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsReply{Shards: m.Stats()})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		rep := HealthReply{Status: "ok", Shards: map[string]bool{}}
+		for _, sh := range m.Shards() {
+			running := sh.Running()
+			rep.Shards[sh.ID()] = running
+			if !running {
+				rep.Status = "degraded"
+			}
+		}
+		code := http.StatusOK
+		if rep.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, rep)
+	})
+	mux.HandleFunc("GET /shards", func(w http.ResponseWriter, r *http.Request) {
+		var infos []ShardInfo
+		for _, sh := range m.Shards() {
+			cfg := sh.Config()
+			infos = append(infos, ShardInfo{
+				ID:           cfg.ID,
+				Nodes:        cfg.Scenario.NumNodes,
+				Seed:         cfg.Scenario.Seed,
+				Mode:         cfg.Scenario.Mode.String(),
+				StepEpochs:   cfg.StepEpochs,
+				SettleEpochs: cfg.SettleEpochs,
+				Horizon:      cfg.Scenario.Epochs,
+			})
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	return mux
+}
+
+// toRequest validates the wire form and fills span defaults.
+func (wire QueryRequestWire) toRequest() (Request, time.Duration, error) {
+	t, err := ParseSensorType(wire.Type)
+	if err != nil {
+		return Request{}, 0, err
+	}
+	lo, hi := t.Span()
+	if wire.Lo != nil {
+		lo = *wire.Lo
+	}
+	if wire.Hi != nil {
+		hi = *wire.Hi
+	}
+	req := Request{Shard: wire.Shard, Type: t, Lo: lo, Hi: hi}
+	if err := req.Validate(); err != nil {
+		return Request{}, 0, err
+	}
+	timeout := defaultQueryTimeout
+	if wire.TimeoutMs > 0 {
+		timeout = time.Duration(wire.TimeoutMs) * time.Millisecond
+	}
+	return req, timeout, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorReply{Error: err.Error()})
+}
