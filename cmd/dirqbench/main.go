@@ -1,0 +1,405 @@
+// Command dirqbench measures the repository's hot paths and records the
+// results as a machine-readable BENCH_<rev>.json, so the project's
+// performance trajectory is data rather than anecdote.
+//
+// It runs two kinds of benchmarks:
+//
+//   - workloads: complete simulation runs (the paper's headline setup under
+//     fixed-δ, ATC and the flooding baseline) and experiment regenerations
+//     (fig6, headline table), reporting throughput as epochs/sec and
+//     simulated node-epochs/sec alongside ns/op and allocs/op;
+//   - substrate micro-benches: event-queue schedule/dispatch, radio
+//     broadcast, one LMAC TDMA frame, range-table observation, and the
+//     amortized cost of one full-stack scenario epoch.
+//
+// Usage:
+//
+//	dirqbench [-quick] [-n 3] [-bench regexp] [-rev auto] [-out path]
+//	dirqbench -check BENCH_x.json   # validate a previously written file
+//	dirqbench -list                 # print benchmark names and exit
+//
+// Each benchmark executes -n times through testing.Benchmark; the fastest
+// run is reported, with its own allocation stats (ns/op, bytes/op and
+// allocs/op always come from the same run, so entries stay internally
+// consistent however warm caches and pools are when that run happens).
+// -quick shrinks the workloads (30 nodes, 800 epochs) so CI can
+// keep BENCH_ci.json fresh on every push; full scale is the paper's §7
+// setup (50 nodes, 20 000 epochs).
+//
+// The output schema is documented in PERFORMANCE.md and validated by
+// -check (also used by CI to fail on malformed output).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lmac"
+	"repro/internal/radio"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// SchemaID identifies the BENCH_*.json format; bump on breaking changes.
+const SchemaID = "dirq/bench/v1"
+
+// File is the top-level BENCH_*.json document.
+type File struct {
+	Schema     string  `json:"schema"`
+	Rev        string  `json:"rev"`
+	Timestamp  string  `json:"timestamp"` // RFC 3339, UTC
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`
+	Quick      bool    `json:"quick"`
+	Iterations int     `json:"iterations"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's result. Nodes/Epochs (and the derived
+// throughput fields) are present only for workload benches that simulate
+// a network over time.
+type Entry struct {
+	Name        string  `json:"name"`
+	Group       string  `json:"group"` // "workload" or "micro"
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+
+	Nodes            int     `json:"nodes,omitempty"`
+	Epochs           int64   `json:"epochs,omitempty"`
+	EpochsPerSec     float64 `json:"epochs_per_sec,omitempty"`
+	NodeEpochsPerSec float64 `json:"node_epochs_per_sec,omitempty"`
+}
+
+// spec declares one benchmark.
+type spec struct {
+	name   string
+	group  string
+	nodes  int   // simulated network size (workloads only)
+	epochs int64 // simulated horizon (workloads only)
+	fn     func(b *testing.B)
+}
+
+// scale returns the benchmark scale: the paper's §7 setup, or the reduced
+// -quick variant.
+func scale(quick bool) (nodes int, epochs int64) {
+	if quick {
+		return 30, 800
+	}
+	return 50, 20000
+}
+
+// scenarioCfg builds the workload scenario at the requested scale.
+func scenarioCfg(quick bool, mode scenario.ThresholdMode) scenario.Config {
+	cfg := scenario.Default()
+	cfg.NumNodes, cfg.Epochs = scale(quick)
+	cfg.Mode = mode
+	return cfg
+}
+
+// specs assembles the benchmark set.
+func specs(quick bool) []spec {
+	nodes, epochs := scale(quick)
+	expOpts := experiments.Options{Seed: 1, NumNodes: nodes, Epochs: epochs, Workers: 1}
+
+	runScenario := func(b *testing.B, mode scenario.ThresholdMode, flood bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := scenarioCfg(quick, mode)
+			cfg.DisseminateByFlooding = flood
+			if _, err := scenario.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	return []spec{
+		{name: "headline/fixed", group: "workload", nodes: nodes, epochs: epochs,
+			fn: func(b *testing.B) { runScenario(b, scenario.FixedDelta, false) }},
+		{name: "headline/atc", group: "workload", nodes: nodes, epochs: epochs,
+			fn: func(b *testing.B) { runScenario(b, scenario.ATC, false) }},
+		{name: "headline/flood", group: "workload", nodes: nodes, epochs: epochs,
+			fn: func(b *testing.B) { runScenario(b, scenario.FixedDelta, true) }},
+		{name: "experiments/fig6", group: "workload", nodes: nodes, epochs: epochs,
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Fig6(expOpts, 0.4); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		{name: "experiments/headline", group: "workload", nodes: nodes, epochs: epochs,
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Headline(expOpts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		{name: "scenario/epoch", group: "workload", nodes: nodes, epochs: 1,
+			fn: func(b *testing.B) {
+				// Amortized per-epoch cost of the full stack: horizon = b.N.
+				cfg := scenarioCfg(quick, scenario.FixedDelta)
+				cfg.Epochs = int64(b.N) + 100
+				r, err := scenario.Build(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				r.Run()
+			}},
+		{name: "sim/schedule-dispatch", group: "micro",
+			fn: func(b *testing.B) {
+				e := sim.NewEngine()
+				rng := sim.NewRNG(1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Schedule(e.Now()+sim.Time(rng.Intn(64)+1), func() {})
+					if e.Pending() > 1024 {
+						for e.Pending() > 0 {
+							e.Step()
+						}
+					}
+				}
+			}},
+		{name: "radio/broadcast", group: "micro",
+			fn: func(b *testing.B) {
+				g, _, err := topology.BuildKaryTree(4, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ch := radio.NewChannel(g, radio.NewMeter(g.Len()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ch.Broadcast(topology.Root, radio.ClassFlood, nil)
+				}
+			}},
+		{name: "lmac/frame", group: "micro",
+			fn: func(b *testing.B) {
+				rng := sim.NewRNG(4)
+				g, err := topology.PlaceRandom(topology.DefaultPlacement(), rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engine := sim.NewEngine()
+				ch := radio.NewChannel(g, radio.NewMeter(g.Len()))
+				mac, err := lmac.New(engine, ch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mac.Init()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mac.RunFrame()
+				}
+			}},
+		{name: "core/range-observe", group: "micro",
+			fn: func(b *testing.B) {
+				rt := core.NewRangeTable()
+				rng := sim.NewRNG(2)
+				vals := make([]float64, 1024)
+				for i := range vals {
+					vals[i] = rng.Range(0, 50)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rt.ObserveReading(vals[i&1023], 1.5)
+				}
+			}},
+	}
+}
+
+// measure runs one spec n times and keeps the fastest run.
+func measure(s spec, n int) Entry {
+	e := Entry{Name: s.name, Group: s.group, Runs: n}
+	for run := 0; run < n; run++ {
+		r := testing.Benchmark(s.fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		// Keep the fastest run whole — its time AND its allocation stats —
+		// so an entry is one run's self-consistent measurement (pooled
+		// paths allocate less once warm, so stats can vary across runs).
+		if run == 0 || ns < e.NsPerOp {
+			e.NsPerOp = ns
+			e.BytesPerOp = r.AllocedBytesPerOp()
+			e.AllocsPerOp = r.AllocsPerOp()
+		}
+	}
+	if s.nodes > 0 {
+		e.Nodes = s.nodes
+		e.Epochs = s.epochs
+		e.EpochsPerSec = float64(s.epochs) * 1e9 / e.NsPerOp
+		e.NodeEpochsPerSec = e.EpochsPerSec * float64(s.nodes)
+	}
+	return e
+}
+
+// detectRev resolves the revision tag for the output file name: the short
+// git commit hash when available, "local" otherwise.
+func detectRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "local"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Validate checks a decoded bench file against the schema invariants.
+// This is the contract CI enforces on BENCH_ci.json.
+func (f *File) Validate() error {
+	if f.Schema != SchemaID {
+		return fmt.Errorf("schema %q, want %q", f.Schema, SchemaID)
+	}
+	if f.Rev == "" {
+		return fmt.Errorf("empty rev")
+	}
+	if _, err := time.Parse(time.RFC3339, f.Timestamp); err != nil {
+		return fmt.Errorf("bad timestamp %q: %v", f.Timestamp, err)
+	}
+	if f.Iterations < 1 {
+		return fmt.Errorf("iterations %d < 1", f.Iterations)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks")
+	}
+	seen := map[string]bool{}
+	for i, b := range f.Benchmarks {
+		switch {
+		case b.Name == "":
+			return fmt.Errorf("benchmark %d: empty name", i)
+		case seen[b.Name]:
+			return fmt.Errorf("benchmark %d: duplicate name %q", i, b.Name)
+		case b.Group != "workload" && b.Group != "micro":
+			return fmt.Errorf("benchmark %q: unknown group %q", b.Name, b.Group)
+		case b.NsPerOp <= 0:
+			return fmt.Errorf("benchmark %q: ns_per_op %v <= 0", b.Name, b.NsPerOp)
+		case b.AllocsPerOp < 0 || b.BytesPerOp < 0:
+			return fmt.Errorf("benchmark %q: negative allocation stats", b.Name)
+		case b.Group == "workload" && b.Nodes > 0 && b.EpochsPerSec <= 0:
+			return fmt.Errorf("benchmark %q: missing throughput", b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return nil
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %v", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	fmt.Printf("%s: valid (%s, rev %s, %d benchmarks)\n", path, f.Schema, f.Rev, len(f.Benchmarks))
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dirqbench: ")
+
+	quick := flag.Bool("quick", false, "reduced scale (30 nodes, 800 epochs) for CI")
+	iters := flag.Int("n", 3, "times to run each benchmark (fastest run is reported)")
+	benchRe := flag.String("bench", "", "only run benchmarks matching this regexp")
+	rev := flag.String("rev", "auto", "revision tag for the output file (auto = git short hash)")
+	out := flag.String("out", "", "output path (default BENCH_<rev>.json)")
+	checkPath := flag.String("check", "", "validate an existing bench file and exit")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	if *checkPath != "" {
+		if err := check(*checkPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	all := specs(*quick)
+	if *list {
+		for _, s := range all {
+			fmt.Printf("%-24s %s\n", s.name, s.group)
+		}
+		return
+	}
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			log.Fatalf("bad -bench regexp: %v", err)
+		}
+		var kept []spec
+		for _, s := range all {
+			if re.MatchString(s.name) {
+				kept = append(kept, s)
+			}
+		}
+		all = kept
+	}
+	if len(all) == 0 {
+		log.Fatal("no benchmarks selected")
+	}
+	if *iters < 1 {
+		log.Fatal("-n must be >= 1")
+	}
+
+	if *rev == "auto" {
+		*rev = detectRev()
+	}
+	f := File{
+		Schema:     SchemaID,
+		Rev:        *rev,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Quick:      *quick,
+		Iterations: *iters,
+	}
+
+	for _, s := range all {
+		fmt.Fprintf(os.Stderr, "running %-24s ", s.name)
+		e := measure(s, *iters)
+		line := fmt.Sprintf("%12.0f ns/op %8d allocs/op", e.NsPerOp, e.AllocsPerOp)
+		if e.EpochsPerSec > 0 {
+			line += fmt.Sprintf("  %10.0f epochs/s  %12.0f node-epochs/s",
+				e.EpochsPerSec, e.NodeEpochsPerSec)
+		}
+		fmt.Fprintln(os.Stderr, line)
+		f.Benchmarks = append(f.Benchmarks, e)
+	}
+
+	if err := f.Validate(); err != nil {
+		log.Fatalf("refusing to write invalid output: %v", err)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", f.Rev)
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

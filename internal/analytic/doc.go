@@ -1,0 +1,28 @@
+// Package analytic implements the paper's §5 closed-form cost model of
+// flooding versus directed query dissemination on a perfect k-ary tree of
+// depth d, with unit transmission and reception costs.
+//
+// Derivations (N = number of nodes, L = N-1 tree links):
+//
+//   - Flooding (§5.1): every node broadcasts the query exactly once
+//     (tx cost N) and every link delivers it in both directions
+//     (rx cost 2L), so CFTotal = N + 2(N-1) = 3N - 2, i.e. eq. (4)
+//     CFTotal = (3k^(d+1) - 2k - 1) / (k - 1).
+//
+//   - Worst-case directed dissemination (§5.2): every leaf is relevant.
+//     Leaf nodes do not transmit, so the (k^d - 1)/(k - 1) internal nodes
+//     broadcast once each, and every non-root node receives once, giving
+//     eq. (5) CQDmax = (k^(d+1) + k^d - k - 1) / (k - 1).
+//
+//   - Worst-case update cost (§5.2): every non-root node unicasts one
+//     Update Message to its parent (1 tx + 1 rx per link), giving eq. (6)
+//     CUDmax = 2(k^(d+1) - k) / (k - 1).
+//
+//   - fMax (§5.3, eq. (8)): the largest update-per-query frequency f for
+//     which CQDmax + f·CUDmax <= CFTotal:
+//     fMax = (2k^(d+1) - k^d - k) / (2(k^(d+1) - k)).
+//     For k=2, d=4 this is 46/60 ≈ 0.766, the paper's "fMax < 0.76" example.
+//
+// In the repo's layer map this is evaluation: cmd/dirqcalc and the
+// analytic experiment print these closed forms; no simulation involved.
+package analytic

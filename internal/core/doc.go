@@ -1,0 +1,13 @@
+// Package core implements DirQ, the paper's adaptive directed query
+// dissemination scheme: per-sensor-type range tables with hysteresis
+// (§4.1), Update Messages that keep aggregate range information accurate
+// towards the root, directed forwarding of range queries to exactly the
+// children whose subtree ranges intersect, hourly EHr estimate distribution
+// (§4/§6), and cross-layer adaptation to topology changes (§4.2).
+//
+// In the repo's layer map this is the protocol layer: it consumes sensor
+// readings from sensordata, transmits through the lmac/radio substrate
+// over the topology tree, and is driven per epoch by scenario. Messages on
+// the hot path are pooled or share one interface box per dissemination
+// wave, so a range-update hop and a query hop do not heap-allocate.
+package core

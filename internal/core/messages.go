@@ -1,9 +1,3 @@
-// Package core implements DirQ, the paper's adaptive directed query
-// dissemination scheme: per-sensor-type range tables with hysteresis
-// (§4.1), Update Messages that keep aggregate range information accurate
-// towards the root, directed forwarding of range queries to exactly the
-// children whose subtree ranges intersect, hourly EHr estimate distribution
-// (§4/§6), and cross-layer adaptation to topology changes (§4.2).
 package core
 
 import (

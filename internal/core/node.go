@@ -13,7 +13,9 @@ import (
 type Transport interface {
 	// Unicast sends to one radio neighbor.
 	Unicast(from, to topology.NodeID, class radio.Class, msg any)
-	// Multicast sends once, addressed to the listed radio neighbors.
+	// Multicast sends once, addressed to the listed radio neighbors. The
+	// targets slice is only valid for the duration of the call — nodes
+	// reuse it — so implementations that queue must copy it.
 	Multicast(from topology.NodeID, targets []topology.NodeID, class radio.Class, msg any)
 }
 
@@ -49,6 +51,35 @@ type Node struct {
 	updatesSent     int64
 	trace           func(TraceEvent)
 	geo             GeoResolver
+
+	// msgPool, when set (by Protocol), recycles Update Message boxes so a
+	// range-update hop does not heap-allocate. Nil falls back to plain
+	// value boxing — standalone Nodes in tests need no pool.
+	msgPool *updateMsgPool
+	// targetScratch is reused across RouteQuery calls for the matched-
+	// children list handed to Transport.Multicast. Transports must copy.
+	targetScratch []topology.NodeID
+}
+
+// updateMsgPool is a free list of Update Message boxes, shared across all
+// nodes of one Protocol: an update unicast has exactly one receiver, which
+// returns the box after copying the payload out, so the pool stays at the
+// size of the peak number of in-flight updates.
+type updateMsgPool struct {
+	free []*UpdateMsg
+}
+
+func (p *updateMsgPool) get() *UpdateMsg {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return new(UpdateMsg)
+}
+
+func (p *updateMsgPool) put(m *UpdateMsg) {
+	p.free = append(p.free, m)
 }
 
 // NewNode builds a DirQ node. The controller, transport and observer must
@@ -207,18 +238,28 @@ func (n *Node) maybeSendUpdate(t sensordata.Type) {
 		return
 	}
 	if pu.withdraw {
-		n.transport.Unicast(n.id, n.parent, radio.ClassUpdate,
-			UpdateMsg{Type: t, Present: false})
+		n.sendUpdate(UpdateMsg{Type: t, Present: false})
 		rt.markWithdrawn()
 		n.emit(TraceEvent{Kind: TraceWithdraw, Node: n.id, Peer: n.parent, Type: t})
 	} else {
-		n.transport.Unicast(n.id, n.parent, radio.ClassUpdate,
-			UpdateMsg{Type: t, Min: pu.agg.Min, Max: pu.agg.Max, Present: true})
+		n.sendUpdate(UpdateMsg{Type: t, Min: pu.agg.Min, Max: pu.agg.Max, Present: true})
 		rt.markSent(pu.agg)
 		n.emit(TraceEvent{Kind: TraceUpdateSent, Node: n.id, Peer: n.parent, Type: t})
 	}
 	n.updatesSent++
 	n.ctrl.OnUpdateSent()
+}
+
+// sendUpdate unicasts one Update Message to the parent, through the pool
+// when one is installed so the interface box is recycled by the receiver.
+func (n *Node) sendUpdate(m UpdateMsg) {
+	if n.msgPool != nil {
+		box := n.msgPool.get()
+		*box = m
+		n.transport.Unicast(n.id, n.parent, radio.ClassUpdate, box)
+		return
+	}
+	n.transport.Unicast(n.id, n.parent, radio.ClassUpdate, m)
 }
 
 // ResetTreeLinks dissolves the node's tree wiring: parent, child list and
@@ -235,9 +276,7 @@ func (n *Node) ResetTreeLinks() {
 		if rt == nil {
 			continue
 		}
-		for _, c := range rt.Children() {
-			rt.RemoveChild(c)
-		}
+		rt.ClearChildren()
 		rt.markWithdrawn() // next attachment re-reports from scratch
 		if rt.Empty() {
 			n.tables[ti] = nil
@@ -259,17 +298,26 @@ func (n *Node) ResendAll() {
 	}
 }
 
-// HandleMessage dispatches a link-layer delivery.
+// HandleMessage dispatches a link-layer delivery. Query and estimate
+// deliveries keep the incoming interface box and forward it unchanged, so
+// a multi-hop wave boxes its message once at the origin; pooled update
+// boxes are copied out and recycled here, at their single receiver.
 func (n *Node) HandleMessage(from topology.NodeID, msg any) {
 	switch m := msg.(type) {
+	case *UpdateMsg:
+		v := *m
+		if n.msgPool != nil {
+			n.msgPool.put(m)
+		}
+		n.onUpdate(from, v)
 	case UpdateMsg:
 		n.onUpdate(from, m)
 	case QueryMsg:
-		n.onQuery(m)
+		n.onQuery(m, msg)
 	case GeoQueryMsg:
 		n.onGeoQuery(m)
 	case EstimateMsg:
-		n.onEstimate(m)
+		n.onEstimate(m, msg)
 	}
 }
 
@@ -291,10 +339,10 @@ func (n *Node) onUpdate(from topology.NodeID, m UpdateMsg) {
 // onQuery records receipt, answers if the node's own stored tuple matches,
 // and forwards the query to exactly the children whose stored aggregates
 // intersect the range — the directed dissemination of §4.1.
-func (n *Node) onQuery(m QueryMsg) {
+func (n *Node) onQuery(m QueryMsg, boxed any) {
 	n.observer.QueryReceived(n.id, m.Q.ID)
 	n.emit(TraceEvent{Kind: TraceQueryReceived, Node: n.id, Peer: -1, QueryID: m.Q.ID})
-	n.RouteQuery(m, true)
+	n.routeQuery(m, boxed, true)
 }
 
 // RouteQuery forwards a query towards matching children; when answer is
@@ -302,6 +350,12 @@ func (n *Node) onQuery(m QueryMsg) {
 // The root calls this with answer=false at injection time (the sink holds
 // no sensors and does not count as a receiver).
 func (n *Node) RouteQuery(m QueryMsg, answer bool) {
+	n.routeQuery(m, m, answer)
+}
+
+// routeQuery is RouteQuery with the query's interface box supplied by the
+// caller, so every hop of one dissemination wave shares a single box.
+func (n *Node) routeQuery(m QueryMsg, boxed any, answer bool) {
 	rt := n.tables[m.Q.Type]
 	if rt == nil {
 		return
@@ -312,32 +366,38 @@ func (n *Node) RouteQuery(m QueryMsg, answer bool) {
 			n.emit(TraceEvent{Kind: TraceQuerySource, Node: n.id, Peer: -1, QueryID: m.Q.ID})
 		}
 	}
-	var targets []topology.NodeID
+	targets := n.targetScratch[:0]
 	for _, c := range rt.Children() {
 		if t, ok := rt.Child(c); ok && t.Intersects(m.Q.Lo, m.Q.Hi) {
 			targets = append(targets, c)
 		}
 	}
+	n.targetScratch = targets
 	if len(targets) > 0 {
-		n.transport.Multicast(n.id, targets, radio.ClassQuery, m)
+		n.transport.Multicast(n.id, targets, radio.ClassQuery, boxed)
 	}
 }
 
 // onEstimate consumes an hourly estimate and passes it one level further
 // down the tree (deduplicated by sequence number, since the multicast can
 // reach a node through stale paths after re-attachment).
-func (n *Node) onEstimate(m EstimateMsg) {
+func (n *Node) onEstimate(m EstimateMsg, boxed any) {
 	if m.Seq <= n.lastEstimateSeq {
 		return
 	}
 	n.lastEstimateSeq = m.Seq
 	n.ctrl.OnEstimate(m)
-	n.ForwardEstimate(m)
+	n.forwardEstimate(boxed)
 }
 
 // ForwardEstimate multicasts an estimate to all current children.
 func (n *Node) ForwardEstimate(m EstimateMsg) {
+	n.forwardEstimate(m)
+}
+
+// forwardEstimate multicasts an already-boxed estimate to all children.
+func (n *Node) forwardEstimate(boxed any) {
 	if len(n.children) > 0 {
-		n.transport.Multicast(n.id, n.children, radio.ClassEstimate, m)
+		n.transport.Multicast(n.id, n.children, radio.ClassEstimate, boxed)
 	}
 }

@@ -96,6 +96,10 @@ type Protocol struct {
 	deadSeen    map[topology.NodeID]bool
 	orphaned    map[topology.NodeID]bool
 	started     bool
+
+	// updPool recycles Update Message boxes across all nodes: sender takes,
+	// single unicast receiver returns.
+	updPool updateMsgPool
 }
 
 // New wires a Protocol over an existing engine, MAC, tree and dataset.
@@ -134,6 +138,7 @@ func New(engine *sim.Engine, mac *lmac.MAC, channel *radio.Channel,
 		id := topology.NodeID(i)
 		p.nodes[i] = NewNode(id, mounted[i], cfg.Controllers(id), mac, p)
 		p.nodes[i].SetTrace(cfg.Trace)
+		p.nodes[i].msgPool = &p.updPool
 	}
 	// Tree wiring: parents and child lists.
 	for _, id := range tree.Nodes() {
@@ -341,6 +346,7 @@ func (p *Protocol) JoinNode(id topology.NodeID, mounted sensordata.TypeSet) erro
 	p.mounted[id] = mounted
 	p.nodes[id] = NewNode(id, mounted, p.cfg.Controllers(id), p.mac, p)
 	p.nodes[id].SetTrace(p.cfg.Trace)
+	p.nodes[id].msgPool = &p.updPool
 	node := p.nodes[id]
 	p.mac.Listen(id, func(from topology.NodeID, msg any) {
 		node.HandleMessage(from, msg)

@@ -27,6 +27,7 @@ type RangeTable struct {
 	hasOwn bool
 
 	children map[topology.NodeID]Tuple
+	childIDs []topology.NodeID // keys of children, kept sorted
 
 	lastSent Tuple
 	hasSent  bool
@@ -64,10 +65,18 @@ func (rt *RangeTable) ClearOwn() { rt.own = Tuple{}; rt.hasOwn = false }
 // SetChild stores the aggregate tuple most recently reported by a child.
 // Reports whether the stored value changed.
 func (rt *RangeTable) SetChild(id topology.NodeID, t Tuple) bool {
-	if old, ok := rt.children[id]; ok && old == t {
-		return false
+	if old, ok := rt.children[id]; ok {
+		if old == t {
+			return false
+		}
+		rt.children[id] = t
+		return true
 	}
 	rt.children[id] = t
+	i := sort.Search(len(rt.childIDs), func(i int) bool { return rt.childIDs[i] >= id })
+	rt.childIDs = append(rt.childIDs, 0)
+	copy(rt.childIDs[i+1:], rt.childIDs[i:])
+	rt.childIDs[i] = id
 	return true
 }
 
@@ -84,17 +93,24 @@ func (rt *RangeTable) RemoveChild(id topology.NodeID) bool {
 		return false
 	}
 	delete(rt.children, id)
+	i := sort.Search(len(rt.childIDs), func(i int) bool { return rt.childIDs[i] >= id })
+	rt.childIDs = append(rt.childIDs[:i], rt.childIDs[i+1:]...)
 	return true
 }
 
-// Children returns the child IDs with entries, sorted.
-func (rt *RangeTable) Children() []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(rt.children))
+// ClearChildren drops every child entry at once.
+func (rt *RangeTable) ClearChildren() {
 	for id := range rt.children {
-		out = append(out, id)
+		delete(rt.children, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	rt.childIDs = rt.childIDs[:0]
+}
+
+// Children returns the child IDs with entries, sorted. The returned slice
+// is shared with the table and must not be modified or held across calls
+// that change the child set.
+func (rt *RangeTable) Children() []topology.NodeID {
+	return rt.childIDs
 }
 
 // Len returns the number of rows (own entry plus child entries) — the n+1

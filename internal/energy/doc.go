@@ -1,0 +1,16 @@
+// Package energy extends the paper's unit message-cost model to node
+// lifetime. The §5 analysis counts one unit per transmission and one per
+// reception; this package attaches a battery to every node, drains it by
+// configurable amounts per transmission, reception, and sensor
+// acquisition, and powers nodes off when they deplete — which feeds back
+// into the §4.2 cross-layer path (neighbors detect the death and the tree
+// repairs itself).
+//
+// This turns the paper's "DirQ spends 45–55 % the cost of flooding" into
+// its operational consequence: the network answering the same query
+// workload lives roughly twice as long.
+//
+// In the repo's layer map this is an extension between radio's cost meter
+// and core's cross-layer death path, enabled by scenario's EnergyCapacity
+// (the lifetime experiment).
+package energy

@@ -38,7 +38,7 @@ func Fig6(o Options, coverage float64) (*Fig6Result, error) {
 			cfg.Coverage = coverage
 			cfg.Mode = c.mode
 			cfg.FixedPct = c.pct
-			r, err := scenario.Run(cfg)
+			r, err := runScenario(cfg)
 			if err != nil {
 				return out{}, err
 			}

@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"fmt"
-
-	"repro/internal/scenario"
 )
 
 // Fig7Series is one overshoot-over-time curve.
@@ -34,7 +32,7 @@ func Fig7(o Options, coverage float64) (*Fig7Result, error) {
 			cfg.Coverage = coverage
 			cfg.Mode = c.mode
 			cfg.FixedPct = c.pct
-			r, err := scenario.Run(cfg)
+			r, err := runScenario(cfg)
 			if err != nil {
 				return Fig7Series{}, err
 			}

@@ -39,7 +39,7 @@ func MultiSeed(o Options, mode scenario.ThresholdMode, coverage float64, seeds i
 			cfg.Seed = o.Seed + uint64(s)
 			cfg.Mode = mode
 			cfg.Coverage = coverage
-			r, err := scenario.Run(cfg)
+			r, err := runScenario(cfg)
 			if err != nil {
 				return sample{}, err
 			}

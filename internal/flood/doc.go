@@ -1,0 +1,13 @@
+// Package flood implements the paper's baseline: disseminating a query by
+// flooding the entire network (§5.1). Every node that can be reached
+// performs exactly one MAC broadcast per query — "even if a node does not
+// have any other neighbor apart from the node it has received a message
+// from, it still carries out a broadcast operation" — so the transmission
+// cost is the number of reached nodes and the reception cost is twice the
+// number of links among them.
+//
+// In the repo's layer map this is the baseline layer: scenario charges
+// every injected query's flooding-equivalent cost through a reusable
+// Scratch, and the DisseminateByFlooding mode routes real traffic here
+// instead of through core's directed dissemination.
+package flood

@@ -1,10 +1,3 @@
-// Package flood implements the paper's baseline: disseminating a query by
-// flooding the entire network (§5.1). Every node that can be reached
-// performs exactly one MAC broadcast per query — "even if a node does not
-// have any other neighbor apart from the node it has received a message
-// from, it still carries out a broadcast operation" — so the transmission
-// cost is the number of reached nodes and the reception cost is twice the
-// number of links among them.
 package flood
 
 import (
@@ -22,37 +15,59 @@ type Result struct {
 	Cost radio.Cost
 }
 
+// Scratch holds reusable BFS state for repeated flood computations over
+// the same graph, so the per-query flooding-baseline accounting in the
+// simulation hot path does not allocate. The zero value is ready to use;
+// a Scratch must not be shared between goroutines.
+type Scratch struct {
+	visited []bool
+	order   []topology.NodeID
+}
+
+// bfs fills s.order with the live nodes reachable from origin in BFS
+// order. The caller must have checked that origin is alive.
+func (s *Scratch) bfs(g *topology.Graph, alive func(topology.NodeID) bool, origin topology.NodeID) {
+	if cap(s.visited) < g.Len() {
+		s.visited = make([]bool, g.Len())
+	}
+	s.visited = s.visited[:g.Len()]
+	s.order = append(s.order[:0], origin)
+	s.visited[origin] = true
+	for i := 0; i < len(s.order); i++ {
+		for _, nb := range g.Neighbors(s.order[i]) {
+			if alive(nb) && !s.visited[nb] {
+				s.visited[nb] = true
+				s.order = append(s.order, nb)
+			}
+		}
+	}
+	// Un-mark only the nodes visited, so the next run starts clean without
+	// an O(N) wipe.
+	for _, id := range s.order {
+		s.visited[id] = false
+	}
+}
+
 // Disseminate floods msg from the origin across all live nodes reachable
 // over live radio links, accounting costs on the channel's meter under
 // radio.ClassFlood. Receivers registered on the channel hear the message
 // once per live neighbor, exactly as a real flood would deliver duplicates.
-func Disseminate(ch *radio.Channel, origin topology.NodeID, msg any) Result {
+func (s *Scratch) Disseminate(ch *radio.Channel, origin topology.NodeID, msg any) Result {
 	g := ch.Graph()
 	if !ch.Alive(origin) {
 		return Result{}
 	}
 	before := ch.Meter().ByClass(radio.ClassFlood)
 
-	// BFS over live nodes to determine who participates.
-	visited := make(map[topology.NodeID]bool, g.Len())
-	order := []topology.NodeID{origin}
-	visited[origin] = true
-	for i := 0; i < len(order); i++ {
-		for _, nb := range g.Neighbors(order[i]) {
-			if ch.Alive(nb) && !visited[nb] {
-				visited[nb] = true
-				order = append(order, nb)
-			}
-		}
-	}
+	s.bfs(g, ch.Alive, origin)
 	// Every participant broadcasts exactly once.
-	for _, id := range order {
+	for _, id := range s.order {
 		ch.Broadcast(id, radio.ClassFlood, msg)
 	}
 
 	after := ch.Meter().ByClass(radio.ClassFlood)
 	return Result{
-		Reached: order,
+		Reached: append([]topology.NodeID(nil), s.order...),
 		Cost:    radio.Cost{Tx: after.Tx - before.Tx, Rx: after.Rx - before.Rx},
 	}
 }
@@ -60,28 +75,30 @@ func Disseminate(ch *radio.Channel, origin topology.NodeID, msg any) Result {
 // CostOnly computes the cost of one flood without delivering anything or
 // touching any meter — used for analytic comparisons: reached-node count
 // plus twice the live-link count among reached nodes.
-func CostOnly(g *topology.Graph, alive func(topology.NodeID) bool, origin topology.NodeID) radio.Cost {
+func (s *Scratch) CostOnly(g *topology.Graph, alive func(topology.NodeID) bool, origin topology.NodeID) radio.Cost {
 	if !alive(origin) {
 		return radio.Cost{}
 	}
-	visited := make(map[topology.NodeID]bool, g.Len())
-	order := []topology.NodeID{origin}
-	visited[origin] = true
-	for i := 0; i < len(order); i++ {
-		for _, nb := range g.Neighbors(order[i]) {
-			if alive(nb) && !visited[nb] {
-				visited[nb] = true
-				order = append(order, nb)
-			}
-		}
-	}
+	s.bfs(g, alive, origin)
 	var rx int64
-	for _, id := range order {
+	for _, id := range s.order {
 		for _, nb := range g.Neighbors(id) {
 			if alive(nb) {
 				rx++ // each live link counted once per direction
 			}
 		}
 	}
-	return radio.Cost{Tx: int64(len(order)), Rx: rx}
+	return radio.Cost{Tx: int64(len(s.order)), Rx: rx}
+}
+
+// Disseminate is the Scratch-free convenience form of Scratch.Disseminate.
+func Disseminate(ch *radio.Channel, origin topology.NodeID, msg any) Result {
+	var s Scratch
+	return s.Disseminate(ch, origin, msg)
+}
+
+// CostOnly is the Scratch-free convenience form of Scratch.CostOnly.
+func CostOnly(g *topology.Graph, alive func(topology.NodeID) bool, origin topology.NodeID) radio.Cost {
+	var s Scratch
+	return s.CostOnly(g, alive, origin)
 }

@@ -1,0 +1,12 @@
+// Package geo adds the paper's optional location attribute (§2: DirQ can
+// route on "location (static) if it is available"). Because positions are
+// static, no update traffic is needed: each node's subtree bounding box is
+// computed once from the deployed tree and only changes on topology churn.
+// A location-constrained query is then forwarded down a tree edge only if
+// the child's subtree box intersects the query rectangle AND its value
+// range matches — pruning whole regions that a value-only query would
+// still have to visit.
+//
+// In the repo's layer map this is an extension over core and topology
+// (examples/georange demonstrates it).
+package geo

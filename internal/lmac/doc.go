@@ -1,0 +1,18 @@
+// Package lmac reproduces the behaviour DirQ needs from LMAC (van Hoesel &
+// Havinga, 2004): a TDMA MAC with a distributed, self-organizing schedule in
+// which every node owns one time slot per frame that is unique within its
+// two-hop neighborhood, plus the cross-layer interface of §4.2 of the DirQ
+// paper — notifications when a neighboring node dies or appears.
+//
+// One frame corresponds to one simulation epoch. During its slot a node
+// implicitly beacons (which carries neighborhood liveness, as LMAC's control
+// section does) and flushes its queued data messages. Beacons are not
+// metered: the paper's §5 cost model counts only query and update messages,
+// and MAC control overhead is identical for DirQ and flooding.
+//
+// In the repo's layer map this is the MAC layer between radio and core:
+// DirQ nodes hand Update Messages and query forwards to MAC queues, and
+// one RunFrame per epoch delivers them. The frame loop reuses its slot
+// order, queue buffers and multicast address lists, so steady-state
+// traffic does not allocate.
+package lmac

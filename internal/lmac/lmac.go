@@ -1,14 +1,3 @@
-// Package lmac reproduces the behaviour DirQ needs from LMAC (van Hoesel &
-// Havinga, 2004): a TDMA MAC with a distributed, self-organizing schedule in
-// which every node owns one time slot per frame that is unique within its
-// two-hop neighborhood, plus the cross-layer interface of §4.2 of the DirQ
-// paper — notifications when a neighboring node dies or appears.
-//
-// One frame corresponds to one simulation epoch. During its slot a node
-// implicitly beacons (which carries neighborhood liveness, as LMAC's control
-// section does) and flushes its queued data messages. Beacons are not
-// metered: the paper's §5 cost model counts only query and update messages,
-// and MAC control overhead is identical for DirQ and flooding.
 package lmac
 
 import (
@@ -48,6 +37,9 @@ type nodeState struct {
 	slot       int
 	registered bool
 	queue      []queuedMsg
+	// spare is the queue buffer flushed last frame, kept for reuse: queue
+	// and spare ping-pong so steady-state traffic never reallocates.
+	spare []queuedMsg
 	// neighbor liveness: last frame a beacon was heard, per neighbor.
 	lastHeard map[topology.NodeID]int64
 }
@@ -64,6 +56,17 @@ type MAC struct {
 	started bool
 
 	deadThreshold int64
+
+	// order lists every node sorted by (slot, id). Slots are assigned once
+	// at construction, so the frame iteration order is static; RunFrame
+	// skips unregistered/dead nodes while iterating.
+	order []topology.NodeID
+	// targetFree pools multicast address lists: Multicast copies the
+	// caller's targets into a pooled slice, and the flush returns it after
+	// transmission.
+	targetFree [][]topology.NodeID
+	// deadScratch is reused by the per-frame liveness sweep.
+	deadScratch []topology.NodeID
 
 	receivers []func(from topology.NodeID, msg any)
 	onDead    func(at topology.NodeID, dead topology.NodeID)
@@ -97,12 +100,38 @@ func New(engine *sim.Engine, channel *radio.Channel) (*MAC, error) {
 		}
 	}
 	m.slots = maxSlot + 1
+	m.order = make([]topology.NodeID, len(m.nodes))
+	for i := range m.order {
+		m.order[i] = topology.NodeID(i)
+	}
+	sort.Slice(m.order, func(i, j int) bool {
+		a, b := &m.nodes[m.order[i]], &m.nodes[m.order[j]]
+		if a.slot != b.slot {
+			return a.slot < b.slot
+		}
+		return a.id < b.id
+	})
 	for i := range m.nodes {
 		if channel.Alive(topology.NodeID(i)) {
 			m.register(topology.NodeID(i))
 		}
 	}
 	return m, nil
+}
+
+// getTargets returns a pooled slice holding a copy of targets.
+func (m *MAC) getTargets(targets []topology.NodeID) []topology.NodeID {
+	var buf []topology.NodeID
+	if n := len(m.targetFree); n > 0 {
+		buf = m.targetFree[n-1][:0]
+		m.targetFree = m.targetFree[:n-1]
+	}
+	return append(buf, targets...)
+}
+
+// putTargets returns a slice obtained from getTargets to the pool.
+func (m *MAC) putTargets(buf []topology.NodeID) {
+	m.targetFree = append(m.targetFree, buf)
 }
 
 // register marks a node as MAC-active and primes its neighbor table with
@@ -186,7 +215,7 @@ func (m *MAC) Multicast(from topology.NodeID, targets []topology.NodeID, class r
 	}
 	st := &m.nodes[from]
 	st.queue = append(st.queue, queuedMsg{
-		to: -1, targets: append([]topology.NodeID(nil), targets...),
+		to: -1, targets: m.getTargets(targets),
 		class: class, msg: msg,
 	})
 }
@@ -213,25 +242,12 @@ func (m *MAC) Start() {
 // slot order, beacons and flushes its queue; afterwards liveness tables are
 // updated and death/new-neighbor notifications fire.
 func (m *MAC) RunFrame() {
-	// Build the slot order: nodes sorted by (slot, id) for determinism.
-	order := make([]topology.NodeID, 0, len(m.nodes))
-	for i := range m.nodes {
-		if m.nodes[i].registered && m.channel.Alive(topology.NodeID(i)) {
-			order = append(order, topology.NodeID(i))
-		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := &m.nodes[order[i]], &m.nodes[order[j]]
-		if a.slot != b.slot {
-			return a.slot < b.slot
-		}
-		return a.id < b.id
-	})
-
-	for _, id := range order {
+	// Slot order is static (slots are assigned once), so the frame walks
+	// the precomputed (slot, id) order and filters liveness inline.
+	for _, id := range m.order {
 		st := &m.nodes[id]
-		if !m.channel.Alive(id) {
-			continue // died earlier within this very frame
+		if !st.registered || !m.channel.Alive(id) {
+			continue // never joined, or died earlier within this very frame
 		}
 		// Beacon: every live radio neighbor hears us (un-metered control).
 		for _, nb := range m.channel.Graph().Neighbors(id) {
@@ -247,9 +263,10 @@ func (m *MAC) RunFrame() {
 			}
 		}
 		// Flush the data queue as it stood at the start of our slot;
-		// messages enqueued by our own deliveries wait for the next slot.
+		// messages enqueued by our own deliveries wait for the next slot
+		// (they land in the swapped-in spare buffer).
 		pending := st.queue
-		st.queue = nil
+		st.queue = st.spare[:0]
 		for _, qm := range pending {
 			switch {
 			case qm.broadcast:
@@ -260,6 +277,15 @@ func (m *MAC) RunFrame() {
 				m.channel.Unicast(id, qm.to, qm.class, qm.msg)
 			}
 		}
+		// Recycle: address lists go back to the pool, message references
+		// are dropped, and the flushed buffer becomes next frame's spare.
+		for i := range pending {
+			if pending[i].targets != nil {
+				m.putTargets(pending[i].targets)
+			}
+			pending[i] = queuedMsg{}
+		}
+		st.spare = pending[:0]
 	}
 
 	// Post-frame liveness sweep.
@@ -271,19 +297,22 @@ func (m *MAC) RunFrame() {
 		// Sweep in sorted neighbour order: map iteration order would
 		// randomize which same-frame death fires onDead first, making
 		// the tree surgery — and the whole run — nondeterministic.
-		var dead []topology.NodeID
+		dead := m.deadScratch[:0]
 		for nb, last := range st.lastHeard {
 			if m.frame-last >= m.deadThreshold {
 				dead = append(dead, nb)
 			}
 		}
-		sort.Slice(dead, func(a, b int) bool { return dead[a] < dead[b] })
+		if len(dead) > 1 {
+			sort.Slice(dead, func(a, b int) bool { return dead[a] < dead[b] })
+		}
 		for _, nb := range dead {
 			delete(st.lastHeard, nb)
 			if m.onDead != nil {
 				m.onDead(topology.NodeID(i), nb)
 			}
 		}
+		m.deadScratch = dead[:0]
 	}
 	m.frame++
 }

@@ -1,0 +1,10 @@
+// Package metrics computes the paper's evaluation quantities: per-query
+// dissemination accuracy (§7.1's "proportion of nodes that are being
+// reached in response to a query to nodes that should be reached"),
+// overshoot (Fig. 7), bucketed time series (Fig. 6 plots per-100-epoch
+// counts), and distribution summaries.
+//
+// In the repo's layer map this is evaluation: scenario folds every
+// QueryRecord through Eval/Summarize, and serve reuses the same accuracy
+// arithmetic for live responses.
+package metrics

@@ -1,8 +1,3 @@
-// Package metrics computes the paper's evaluation quantities: per-query
-// dissemination accuracy (§7.1's "proportion of nodes that are being
-// reached in response to a query to nodes that should be reached"),
-// overshoot (Fig. 7), bucketed time series (Fig. 6 plots per-100-epoch
-// counts), and distribution summaries.
 package metrics
 
 import (

@@ -1,9 +1,3 @@
-// Package query defines the one-shot range queries users inject into the
-// network (§3: "Acquire all temperature readings that are currently between
-// 22°C and 25°C"), the ground-truth resolver that determines which nodes a
-// query *should* reach, a workload generator that targets the paper's
-// 20/40/60 % node-involvement levels, and the root-side predictor of hourly
-// query counts that feeds the EHr estimate broadcasts.
 package query
 
 import (
@@ -58,19 +52,27 @@ func Resolve(q Query, tree *topology.Tree, mounted []sensordata.TypeSet,
 	value func(topology.NodeID) float64) GroundTruth {
 
 	gt := GroundTruth{Should: map[topology.NodeID]bool{}}
-	for _, id := range tree.Nodes() {
-		if id == tree.Root() {
-			continue
-		}
-		if !mounted[id].Has(q.Type) {
+	root := tree.Root()
+	for i := range mounted {
+		id := topology.NodeID(i)
+		if id == root || !mounted[i].Has(q.Type) || !tree.Contains(id) {
 			continue
 		}
 		if q.Matches(value(id)) {
 			gt.Sources = append(gt.Sources, id)
-			for _, hop := range tree.PathToRoot(id) {
-				if hop != tree.Root() {
-					gt.Should[hop] = true
+			// Walk the path to the root in place. Once a hop is already
+			// marked, so are all of its ancestors (paths to the root share
+			// their suffix), so the walk can stop early.
+			for hop := id; hop != root; {
+				if gt.Should[hop] {
+					break
 				}
+				gt.Should[hop] = true
+				p, ok := tree.Parent(hop)
+				if !ok {
+					break
+				}
+				hop = p
 			}
 		}
 	}
@@ -87,6 +89,13 @@ type Workload struct {
 	rng     *sim.RNG
 	nextID  int64
 	typeSeq int
+
+	// Reusable scratch for Next: candidate centre nodes, and an epoch-
+	// stamped visited marker so the width search can count involvement
+	// without building a GroundTruth per probe.
+	cand  []topology.NodeID
+	stamp []int32
+	pass  int32
 }
 
 // NewWorkload creates a workload generator targeting the given involved-
@@ -113,12 +122,14 @@ func (w *Workload) Next(gen *sensordata.Generator, tree *topology.Tree,
 	value := func(id topology.NodeID) float64 { return gen.Value(id, qt) }
 
 	// Centre the window on a random node that actually mounts this type.
-	var candidates []topology.NodeID
-	for _, id := range tree.Nodes() {
-		if id != tree.Root() && mounted[id].Has(qt) {
+	candidates := w.cand[:0]
+	for i := range mounted {
+		id := topology.NodeID(i)
+		if id != tree.Root() && mounted[i].Has(qt) && tree.Contains(id) {
 			candidates = append(candidates, id)
 		}
 	}
+	w.cand = candidates
 	q := Query{ID: w.nextID, Type: qt}
 	w.nextID++
 	if len(candidates) == 0 {
@@ -129,22 +140,25 @@ func (w *Workload) Next(gen *sensordata.Generator, tree *topology.Tree,
 	}
 	centre := value(candidates[w.rng.Intn(len(candidates))])
 
-	// Binary search the half-width for the target involvement.
+	// Binary search the half-width for the target involvement. The probes
+	// only need the involved-node count, so they use the allocation-free
+	// counter; the winning query is fully resolved once at the end.
 	span := qt.SpanWidth()
 	n := tree.Len()
 	loW, hiW := 0.0, span
 	var best Query
-	var bestGT GroundTruth
 	bestErr := 2.0
 	for iter := 0; iter < 24; iter++ {
 		mid := (loW + hiW) / 2
 		cand := Query{ID: q.ID, Type: qt, Lo: centre - mid, Hi: centre + mid}
-		gt := Resolve(cand, tree, mounted, value)
-		frac := gt.InvolvedFraction(n)
+		involved := w.involvedCount(cand, tree, mounted, value)
+		frac := 0.0
+		if n > 1 {
+			frac = float64(involved) / float64(n-1)
+		}
 		if e := abs(frac - w.target); e < bestErr {
 			bestErr = e
 			best = cand
-			bestGT = gt
 		}
 		if frac < w.target {
 			loW = mid
@@ -152,7 +166,45 @@ func (w *Workload) Next(gen *sensordata.Generator, tree *topology.Tree,
 			hiW = mid
 		}
 	}
-	return best, bestGT
+	return best, Resolve(best, tree, mounted, value)
+}
+
+// involvedCount returns what len(Resolve(q, ...).Should) would be — the
+// number of distinct non-root nodes on root-to-source paths — using a
+// reusable stamp buffer instead of materializing the set.
+func (w *Workload) involvedCount(q Query, tree *topology.Tree,
+	mounted []sensordata.TypeSet, value func(topology.NodeID) float64) int {
+
+	n := len(mounted)
+	if cap(w.stamp) < n {
+		w.stamp = make([]int32, n)
+	}
+	stamp := w.stamp[:n]
+	w.pass++
+	root := tree.Root()
+	count := 0
+	for i := range mounted {
+		id := topology.NodeID(i)
+		if id == root || !mounted[i].Has(q.Type) || !tree.Contains(id) {
+			continue
+		}
+		if !q.Matches(value(id)) {
+			continue
+		}
+		for hop := id; hop != root; {
+			if stamp[hop] == w.pass {
+				break
+			}
+			stamp[hop] = w.pass
+			count++
+			p, ok := tree.Parent(hop)
+			if !ok {
+				break
+			}
+			hop = p
+		}
+	}
+	return count
 }
 
 func abs(x float64) float64 {

@@ -1,9 +1,3 @@
-// Package radio models the wireless channel at the granularity the paper's
-// evaluation uses: broadcast and unicast message delivery over the unit-disk
-// connectivity graph, with message-cost accounting where one transmission
-// costs one unit and one reception costs one unit (§5, "the cost of
-// transmitting a message is assumed to be one unit while the cost of
-// receiving a message is also assumed to be one unit").
 package radio
 
 import (

@@ -1,18 +1,3 @@
-// Package sampling implements the paper's §8 future-work extension: "a
-// statistical prediction technique that can be used by DirQ to ensure that
-// sensor sampling costs are minimized".
-//
-// The paper's stated drawback is that DirQ "assume[s] that nodes are able
-// to sample sensors continuously to check if the thresholds have been
-// exceeded", which "consumes a lot of energy". This package removes that
-// assumption: each node keeps a per-sensor double-EWMA predictor (level +
-// trend) plus an EWMA of the absolute prediction residual. Before an
-// acquisition, the node asks whether the prediction — widened by a safety
-// margin proportional to the residual — still lies inside its current
-// hysteresis window [THmin, THmax]. If it does, the physical sample is
-// skipped: even a worst-case-in-distribution reading would not have
-// re-centred the tuple or triggered an Update Message. A hard cap forces a
-// real sample every MaxSkip epochs so the model cannot drift unchecked.
 package sampling
 
 import (

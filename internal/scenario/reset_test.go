@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// resetGuardConfig is a small-but-complete run: both threshold modes, the
+// built-in workload, tracing off.
+func resetGuardConfig(mode ThresholdMode, seed uint64) Config {
+	cfg := Default()
+	cfg.NumNodes = 40
+	cfg.Epochs = 1500
+	cfg.Seed = seed
+	cfg.Mode = mode
+	return cfg
+}
+
+// marshalResult renders a Result the way dirqsim -json renders its
+// summary: one canonical JSON byte string, so "byte-identical output"
+// is literal.
+func marshalResult(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEngineResetReuseDeterminism is the pooled-engine determinism guard:
+// a run built on a recycled (Reset) engine must produce byte-identical
+// results to a fresh-engine run, for both FixedDelta and ATC modes, even
+// when the engine previously hosted a different scenario.
+func TestEngineResetReuseDeterminism(t *testing.T) {
+	for _, mode := range []ThresholdMode{FixedDelta, ATC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := resetGuardConfig(mode, 7)
+
+			fresh, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := marshalResult(t, fresh)
+
+			// Dirty an engine with a different run (other mode, other
+			// seed), then reuse it for cfg.
+			eng := sim.NewEngine()
+			warmCfg := resetGuardConfig(FixedDelta, 99)
+			warmCfg.Mode = ATC
+			warm, err := BuildWithEngine(warmCfg, eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm.Run()
+
+			reused, err := BuildWithEngine(cfg, eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := marshalResult(t, reused.Run())
+
+			if string(got) != string(want) {
+				t.Fatalf("engine reuse changed the result\nfresh:  %.200s\nreused: %.200s",
+					want, got)
+			}
+		})
+	}
+}
+
+// TestEngineResetReuseSteppedDeterminism repeats the guard for the
+// steppable drive style the serving layer uses (Start/Step/Snapshot).
+func TestEngineResetReuseSteppedDeterminism(t *testing.T) {
+	cfg := resetGuardConfig(ATC, 11)
+
+	fresh, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Start()
+	for fresh.Step(77) > 0 {
+	}
+	want := marshalResult(t, fresh.Snapshot())
+
+	eng := sim.NewEngine()
+	warm, err := BuildWithEngine(resetGuardConfig(FixedDelta, 5), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Run()
+
+	reused, err := BuildWithEngine(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused.Start()
+	for reused.Step(77) > 0 {
+	}
+	got := marshalResult(t, reused.Snapshot())
+
+	if string(got) != string(want) {
+		t.Fatalf("stepped engine reuse changed the result\nfresh:  %.200s\nreused: %.200s",
+			want, got)
+	}
+}

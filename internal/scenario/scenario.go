@@ -1,8 +1,3 @@
-// Package scenario assembles a complete, reproducible DirQ simulation from
-// one Config: topology placement, spanning tree, LMAC, synthetic dataset,
-// the DirQ protocol with either fixed-δ or ATC threshold control, a
-// coverage-targeted query workload, and the flooding-baseline cost
-// accounting the paper compares against.
 package scenario
 
 import (
@@ -290,6 +285,7 @@ type Runner struct {
 	started    bool
 	gate       *sampling.Gate
 	bank       *energy.Bank
+	floodBFS   flood.Scratch
 	prevCosts  []radio.Cost
 	firstDeath int64
 	workload   *query.Workload
@@ -303,8 +299,23 @@ type Runner struct {
 
 // Build constructs the simulation without running it.
 func Build(cfg Config) (*Runner, error) {
+	return BuildWithEngine(cfg, nil)
+}
+
+// BuildWithEngine is Build on a caller-supplied event engine, which is
+// Reset before use: a finished run's engine can host the next run without
+// reallocating its queue storage (the experiment sweeps and serving
+// shards use this to recycle engines). A nil engine means build a fresh
+// one. The caller must not touch the engine's previous run afterwards;
+// results are byte-identical to a fresh-engine build.
+func BuildWithEngine(cfg Config, engine *sim.Engine) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if engine == nil {
+		engine = sim.NewEngine()
+	} else {
+		engine.Reset()
 	}
 	rng := sim.NewRNG(cfg.Seed)
 
@@ -327,7 +338,6 @@ func Build(cfg Config) (*Runner, error) {
 	}
 	params := atc.NetworkParams{N: g.Len(), Internal: internal, Links: g.EdgeCount()}
 
-	engine := sim.NewEngine()
 	meter := radio.NewMeter(g.Len())
 	channel := radio.NewChannel(g, meter)
 	if cfg.PacketLoss > 0 {
@@ -452,7 +462,7 @@ func Build(cfg Config) (*Runner, error) {
 func (r *Runner) Inject(q query.Query, truth query.GroundTruth) (rec *core.QueryRecord, floodCost int64) {
 	now := r.Engine.Now()
 	if r.Cfg.DisseminateByFlooding {
-		fr := flood.Disseminate(r.Channel, topology.Root, core.QueryMsg{Q: q})
+		fr := r.floodBFS.Disseminate(r.Channel, topology.Root, core.QueryMsg{Q: q})
 		rec = &core.QueryRecord{
 			Query: q, Truth: truth, InjectedAt: now,
 			Received: map[topology.NodeID]bool{},
@@ -474,7 +484,7 @@ func (r *Runner) Inject(q query.Query, truth query.GroundTruth) (rec *core.Query
 		r.records = append(r.records, rec)
 	}
 	r.queries++
-	floodCost = flood.CostOnly(r.Graph, r.Channel.Alive, topology.Root).Total()
+	floodCost = r.floodBFS.CostOnly(r.Graph, r.Channel.Alive, topology.Root).Total()
 	r.flooded += floodCost
 	return rec, floodCost
 }

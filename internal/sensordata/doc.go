@@ -1,0 +1,16 @@
+// Package sensordata generates the synthetic environmental dataset the
+// paper's evaluation uses: "A synthetic dataset with 4 sensor types has been
+// generated where sensor values of nodes located close to one another are
+// spatially related. The generated sensor data is also related in the
+// temporal dimension." (§7)
+//
+// Values are produced by a smooth physical field per sensor type — a base
+// level, a diurnal sinusoid, and a set of Gaussian "plumes" whose centres
+// random-walk across the deployment area — plus small per-node AR(1) noise.
+// Nearby nodes therefore see similar values (spatial correlation) and each
+// node's series evolves smoothly (temporal correlation).
+//
+// In the repo's layer map this is the environment layer: core samples the
+// generator every epoch (§7 "each sensor acquires a reading every time
+// unit") and query resolves ground truth against the same field.
+package sensordata

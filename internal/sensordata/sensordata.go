@@ -1,14 +1,3 @@
-// Package sensordata generates the synthetic environmental dataset the
-// paper's evaluation uses: "A synthetic dataset with 4 sensor types has been
-// generated where sensor values of nodes located close to one another are
-// spatially related. The generated sensor data is also related in the
-// temporal dimension." (§7)
-//
-// Values are produced by a smooth physical field per sensor type — a base
-// level, a diurnal sinusoid, and a set of Gaussian "plumes" whose centres
-// random-walk across the deployment area — plus small per-node AR(1) noise.
-// Nearby nodes therefore see similar values (spatial correlation) and each
-// node's series evolves smoothly (temporal correlation).
 package sensordata
 
 import (
@@ -47,9 +36,14 @@ func (t Type) String() string {
 	}
 }
 
-// AllTypes returns the four sensor types in order.
+// allTypes backs AllTypes so the hot per-epoch loops can enumerate types
+// without allocating.
+var allTypes = []Type{Temperature, Humidity, Light, SoilMoisture}
+
+// AllTypes returns the four sensor types in order. The returned slice is
+// shared and must not be modified.
 func AllTypes() []Type {
-	return []Type{Temperature, Humidity, Light, SoilMoisture}
+	return allTypes
 }
 
 // Span returns the physical value range of the sensor type. The DirQ
@@ -367,15 +361,27 @@ func (s TypeSet) With(t Type) TypeSet { return s | (1 << uint(t)) }
 // Without returns the set with t removed.
 func (s TypeSet) Without(t Type) TypeSet { return s &^ (1 << uint(t)) }
 
-// Types lists the members in order.
-func (s TypeSet) Types() []Type {
-	var out []Type
-	for _, t := range AllTypes() {
-		if s.Has(t) {
-			out = append(out, t)
+// typeSetMembers caches the member list of every possible TypeSet, so
+// Types — called per node per epoch on the hot simulation path — never
+// allocates.
+var typeSetMembers = func() [1 << NumTypes][]Type {
+	var table [1 << NumTypes][]Type
+	for s := range table {
+		var members []Type
+		for _, t := range allTypes {
+			if TypeSet(s).Has(t) {
+				members = append(members, t)
+			}
 		}
+		table[s] = members
 	}
-	return out
+	return table
+}()
+
+// Types lists the members in order. The returned slice is shared and must
+// not be modified.
+func (s TypeSet) Types() []Type {
+	return typeSetMembers[s&(1<<NumTypes-1)]
 }
 
 // Len returns the number of types in the set.

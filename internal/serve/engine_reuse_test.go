@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sensordata"
+)
+
+// TestShardEngineDonation checks the serving-layer engine-reuse path: a
+// replacement shard built on a retired shard's engine replays the
+// retiree's admission log to identical responses.
+func TestShardEngineDonation(t *testing.T) {
+	cfg := ShardConfig{ID: "live", Scenario: testScenario(1)}
+	live, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = live.Serve(ctx) }()
+
+	var want []*Response
+	for i := 0; i < 5; i++ {
+		resp, err := live.Submit(context.Background(), Request{Type: sensordata.Temperature, Lo: 5, Hi: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, resp)
+	}
+	log := live.AdmittedLog()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("live shard did not stop")
+	}
+
+	replCfg := cfg
+	replCfg.ID = "live" // same identity, reproduced run
+	repl, err := NewShardWithEngine(replCfg, live.Engine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repl.Replay(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replay returned %d responses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].QueryID != got[i].QueryID ||
+			want[i].AdmittedEpoch != got[i].AdmittedEpoch ||
+			want[i].AnsweredEpoch != got[i].AnsweredEpoch ||
+			want[i].Accuracy != got[i].Accuracy ||
+			want[i].Cost != got[i].Cost {
+			t.Fatalf("response %d differs on donated engine:\nlive:   %+v\nreplay: %+v",
+				i, want[i], got[i])
+		}
+	}
+}

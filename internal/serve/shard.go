@@ -13,6 +13,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/radio"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 // ErrShuttingDown is returned for queries caught by a shard shutdown.
@@ -112,12 +113,20 @@ type Shard struct {
 // NewShard builds (but does not start) a shard. The scenario's workload
 // is forcibly disabled; queries come only from clients.
 func NewShard(cfg ShardConfig) (*Shard, error) {
+	return NewShardWithEngine(cfg, nil)
+}
+
+// NewShardWithEngine is NewShard on a recycled event engine (nil means
+// build a fresh one): a retired shard's engine — see Shard.Engine — can
+// host a replacement shard without reallocating its queue storage. The
+// donor shard must have stopped serving first.
+func NewShardWithEngine(cfg ShardConfig, engine *sim.Engine) (*Shard, error) {
 	cfg = cfg.withDefaults()
 	if cfg.ID == "" {
 		return nil, errors.New("serve: shard needs an ID")
 	}
 	cfg.Scenario.DisableWorkload = true
-	runner, err := scenario.Build(cfg.Scenario)
+	runner, err := scenario.BuildWithEngine(cfg.Scenario, engine)
 	if err != nil {
 		return nil, fmt.Errorf("serve: shard %q: %w", cfg.ID, err)
 	}
@@ -146,6 +155,11 @@ func (s *Shard) Serve(ctx context.Context) error {
 
 // ID returns the shard's name.
 func (s *Shard) ID() string { return s.cfg.ID }
+
+// Engine exposes the shard's event engine so a finished shard can donate
+// it to a successor via NewShardWithEngine. Only call once the shard has
+// stopped serving (Running reports false).
+func (s *Shard) Engine() *sim.Engine { return s.runner.Engine }
 
 // Config returns the shard's effective (defaulted) configuration.
 func (s *Shard) Config() ShardConfig { return s.cfg }

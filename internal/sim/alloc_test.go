@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// TestScheduleDispatchAllocFree pins the post-overhaul allocation ceiling
+// of the engine hot path: once the arena is warm, a Schedule + Step cycle
+// must not allocate at all (the seed engine allocated one event per
+// Schedule call).
+func TestScheduleDispatchAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the arena past the working set used below.
+	for i := 0; i < 64; i++ {
+		e.Schedule(e.Now()+1, fn)
+	}
+	e.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+1, fn)
+		e.Schedule(e.Now()+2, fn)
+		for e.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/dispatch cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestCancelAllocFree verifies canceling is allocation-free too.
+func TestCancelAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(e.Now()+1, fn)
+	}
+	e.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := e.Schedule(e.Now()+1, fn)
+		if !e.Cancel(id) {
+			t.Fatal("cancel failed")
+		}
+		e.RunUntil(e.Now() + 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/cancel cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestResetKeepsCapacity checks Reset rewinds state but keeps the arena,
+// so the next run's scheduling starts allocation-free.
+func TestResetKeepsCapacity(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	e.Run()
+	e.Reset()
+
+	if e.Now() != 0 || e.Steps() != 0 || e.Pending() != 0 || e.Stopped() {
+		t.Fatalf("Reset left state: now=%d steps=%d pending=%d stopped=%v",
+			e.Now(), e.Steps(), e.Pending(), e.Stopped())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		for i := 0; i < 64; i++ {
+			e.Schedule(Time(i), fn)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("reset/reuse cycle allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -1,0 +1,17 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underneath every DirQ run — the OMNeT++ substitute of the paper's §7
+// evaluation setup.
+//
+// In the repo's layer map this is the bottom of the substrate: every other
+// layer (topology, radio, lmac, core, scenario, serve) schedules its work
+// here. The engine keys events by (time, priority, sequence) and pairs with
+// a seeded, splittable random number generator (rng.go), so every
+// simulation run is exactly reproducible from its seed, for any worker
+// count and on any platform.
+//
+// The event queue is allocation-free in steady state: events live by value
+// in a flat arena addressed by a 4-ary index min-heap, and executed or
+// canceled events return their arena slot to a free list. Engine.Reset
+// rewinds a finished engine for reuse, which lets experiment sweeps and
+// serving shards run many simulations without rebuilding queue storage.
+package sim

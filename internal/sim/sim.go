@@ -1,15 +1,6 @@
-// Package sim provides a deterministic discrete-event simulation engine.
-//
-// It is the OMNeT++ substitute used by the DirQ reproduction: a binary-heap
-// event queue keyed by (time, priority, sequence) and a seeded, splittable
-// random number generator so every simulation run is exactly reproducible
-// from its seed.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is the simulation clock in discrete ticks. One tick corresponds to
 // one epoch in the paper's terminology (one sensor acquisition interval).
@@ -18,66 +9,40 @@ type Time int64
 // Handler is a scheduled simulation action.
 type Handler func()
 
-// event is a single queue entry. Events with equal time run in ascending
-// priority order; ties break on insertion sequence so execution order is
-// fully deterministic.
+// event is a single queue entry, stored by value in the engine's arena so
+// scheduling does not allocate once the arena has warmed up. Events with
+// equal time run in ascending priority order; ties break on insertion
+// sequence so execution order is fully deterministic.
 type event struct {
 	at       Time
 	priority int
 	seq      uint64
 	fn       Handler
-	index    int // heap index, maintained by eventQueue
+	gen      uint32 // bumped every time the arena slot is recycled
 	canceled bool
 }
 
-// eventQueue is a binary min-heap of events ordered by (at, priority, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	if a.priority != b.priority {
-		return a.priority < b.priority
-	}
-	return a.seq < b.seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// EventID identifies a scheduled event so it can be canceled.
+// EventID identifies a scheduled event so it can be canceled. The zero
+// value is invalid (Cancel on it is a no-op). An EventID becomes stale —
+// and Cancel on it a no-op — once the event has run, been canceled, or the
+// engine has been Reset.
 type EventID struct {
-	ev *event
+	idx int32 // arena index + 1; 0 means "no event"
+	gen uint32
 }
 
 // Engine is a deterministic discrete-event simulator. The zero value is not
 // usable; construct with NewEngine.
+//
+// Internally the queue is a 4-ary min-heap of indices into a flat event
+// arena with a free list, so steady-state Schedule/Step cycles perform no
+// heap allocations: one simulation epoch reuses the slots freed by the
+// previous one.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	events  []event // arena; slots are recycled through free
+	free    []int32 // arena slots available for reuse
+	heap    []int32 // 4-ary min-heap of arena indices, keyed (at, priority, seq)
 	seq     uint64
 	stopped bool
 	steps   uint64
@@ -96,7 +61,104 @@ func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of events currently queued (including
 // canceled-but-unpopped events).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Reset returns the engine to its initial state — clock at 0, empty queue,
+// zero step count, not stopped — while keeping the arena, free list and
+// heap capacity, so a pooled engine can host a new simulation run without
+// reallocating its queue. EventIDs issued before the Reset must be
+// discarded; canceling them afterwards has unspecified (but memory-safe)
+// effects on the new run.
+func (e *Engine) Reset() {
+	for i := range e.events {
+		e.events[i].fn = nil // release closure references to the old run
+	}
+	e.events = e.events[:0]
+	e.free = e.free[:0]
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.steps = 0
+	e.stopped = false
+}
+
+// less orders two arena slots by (at, priority, seq).
+func (e *Engine) less(a, b int32) bool {
+	x, y := &e.events[a], &e.events[b]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.priority != y.priority {
+		return x.priority < y.priority
+	}
+	return x.seq < y.seq
+}
+
+// siftUp restores the heap property from leaf position i upward.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(idx, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = idx
+}
+
+// siftDown restores the heap property from the root downward.
+func (e *Engine) siftDown() {
+	h := e.heap
+	n := len(h)
+	i := 0
+	idx := h[0]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], idx) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = idx
+}
+
+// alloc returns a free arena slot, growing the arena only when the free
+// list is empty.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.events = append(e.events, event{})
+	return int32(len(e.events) - 1)
+}
+
+// release recycles an arena slot: the closure reference is dropped and the
+// generation bumped so stale EventIDs can no longer address it.
+func (e *Engine) release(idx int32) {
+	ev := &e.events[idx]
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, idx)
+}
 
 // Schedule enqueues fn to run at absolute time at with priority 0.
 // Scheduling in the past (before Now) panics: it indicates a protocol bug.
@@ -118,40 +180,70 @@ func (e *Engine) SchedulePrio(at Time, priority int, fn Handler) EventID {
 	if fn == nil {
 		panic("sim: schedule nil handler")
 	}
-	ev := &event{at: at, priority: priority, seq: e.seq, fn: fn}
+	idx := e.alloc()
+	ev := &e.events[idx]
+	ev.at = at
+	ev.priority = priority
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.canceled = false
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return EventID{idx: idx + 1, gen: ev.gen}
 }
 
 // Cancel removes a scheduled event. Canceling an already-run or
 // already-canceled event is a no-op. Reports whether the event was live.
 func (e *Engine) Cancel(id EventID) bool {
-	ev := id.ev
-	if ev == nil || ev.canceled || ev.index < 0 {
+	if id.idx == 0 || int(id.idx) > len(e.events) {
+		return false
+	}
+	ev := &e.events[id.idx-1]
+	if ev.gen != id.gen || ev.canceled || ev.fn == nil {
 		return false
 	}
 	ev.canceled = true
 	return true
 }
 
+// pop removes and returns the earliest heap entry. The caller must ensure
+// the heap is non-empty.
+func (e *Engine) pop() int32 {
+	idx := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.siftDown()
+	}
+	return idx
+}
+
 // Step executes the single earliest pending event. It reports false when the
 // queue is empty or the engine has been stopped.
 func (e *Engine) Step() bool {
 	for {
-		if e.stopped || len(e.queue) == 0 {
+		if e.stopped || len(e.heap) == 0 {
 			return false
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		idx := e.pop()
+		ev := &e.events[idx]
 		if ev.canceled {
+			e.release(idx)
 			continue
 		}
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
-		e.now = ev.at
+		at, fn := ev.at, ev.fn
+		// Recycle the slot before running the handler: handlers routinely
+		// schedule follow-up events, and reusing the just-freed slot keeps
+		// the arena at the size of the peak concurrent event count.
+		e.release(idx)
+		e.now = at
 		e.steps++
-		ev.fn()
+		fn()
 		return true
 	}
 }
@@ -169,15 +261,11 @@ func (e *Engine) RunUntil(until Time) {
 		if e.stopped {
 			return
 		}
-		// Peek.
-		var next *event
-		for len(e.queue) > 0 && e.queue[0].canceled {
-			heap.Pop(&e.queue)
+		// Peek, discarding canceled events at the head.
+		for len(e.heap) > 0 && e.events[e.heap[0]].canceled {
+			e.release(e.pop())
 		}
-		if len(e.queue) > 0 {
-			next = e.queue[0]
-		}
-		if next == nil || next.at > until {
+		if len(e.heap) == 0 || e.events[e.heap[0]].at > until {
 			if e.now < until {
 				e.now = until
 			}

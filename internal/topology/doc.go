@@ -1,0 +1,9 @@
+// Package topology models the physical layout and connectivity of a wireless
+// sensor network: node placement, the unit-disk radio graph, and the
+// spanning communication tree DirQ runs over.
+//
+// In the repo's layer map this is substrate, directly above sim: scenario
+// deploys a placement and spanning tree here once per run, and radio, lmac
+// and core all route over the graph and tree it produces (the paper's k-
+// fan-out, d-depth tree of §5/§7).
+package topology

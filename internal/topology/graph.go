@@ -1,6 +1,3 @@
-// Package topology models the physical layout and connectivity of a wireless
-// sensor network: node placement, the unit-disk radio graph, and the
-// spanning communication tree DirQ runs over.
 package topology
 
 import (

@@ -1,0 +1,9 @@
+// Package trace records protocol events (Update Messages, query
+// deliveries, estimate waves, deaths, re-attachments) into a bounded ring
+// buffer for debugging and post-run analysis. It plugs into
+// core.Config.Trace and stamps every event with the simulation epoch.
+//
+// In the repo's layer map this is evaluation/observability: optional (a
+// nil hook costs nothing on the hot path), enabled by scenario's
+// TraceCapacity and surfaced by dirqsim -trace.
+package trace

@@ -1,7 +1,3 @@
-// Package trace records protocol events (Update Messages, query
-// deliveries, estimate waves, deaths, re-attachments) into a bounded ring
-// buffer for debugging and post-run analysis. It plugs into
-// core.Config.Trace and stamps every event with the simulation epoch.
 package trace
 
 import (
