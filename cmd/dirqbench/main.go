@@ -17,6 +17,16 @@
 //	dirqbench [-quick] [-n 3] [-bench regexp] [-rev auto] [-out path]
 //	dirqbench -check BENCH_x.json   # validate a previously written file
 //	dirqbench -list                 # print benchmark names and exit
+//	dirqbench -compare BENCH_base.json [-tolerance 0.30] [candidate.json]
+//
+// -compare is the regression gate CI runs against the committed baseline:
+// it loads the baseline, obtains a candidate (the positional file if
+// given, otherwise a fresh measurement at the baseline's own scale), and
+// compares epochs/sec for every workload benchmark present in both at
+// the same nodes/epochs scale. If any regresses by more than -tolerance
+// (fractional, default 0.30) — or nothing is comparable — the exit
+// status is nonzero. Substrate micro-benches are reported for context
+// but do not gate: they are too fast to be stable across CI hardware.
 //
 // Each benchmark executes -n times through testing.Benchmark; the fastest
 // run is reported, with its own allocation stats (ns/op, bytes/op and
@@ -296,19 +306,114 @@ func (f *File) Validate() error {
 	return nil
 }
 
-func check(path string) error {
+// loadFile reads and validates one BENCH_*.json.
+func loadFile(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return fmt.Errorf("%s: not valid JSON: %v", path, err)
+		return nil, fmt.Errorf("%s: not valid JSON: %v", path, err)
 	}
 	if err := f.Validate(); err != nil {
-		return fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+func check(path string) error {
+	f, err := loadFile(path)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("%s: valid (%s, rev %s, %d benchmarks)\n", path, f.Schema, f.Rev, len(f.Benchmarks))
+	return nil
+}
+
+// measureAll runs every spec, logging progress to stderr.
+func measureAll(all []spec, iters int) []Entry {
+	var out []Entry
+	for _, s := range all {
+		fmt.Fprintf(os.Stderr, "running %-24s ", s.name)
+		e := measure(s, iters)
+		line := fmt.Sprintf("%12.0f ns/op %8d allocs/op", e.NsPerOp, e.AllocsPerOp)
+		if e.EpochsPerSec > 0 {
+			line += fmt.Sprintf("  %10.0f epochs/s  %12.0f node-epochs/s",
+				e.EpochsPerSec, e.NodeEpochsPerSec)
+		}
+		fmt.Fprintln(os.Stderr, line)
+		out = append(out, e)
+	}
+	return out
+}
+
+// compare gates a candidate measurement against a baseline file: any
+// workload benchmark whose epochs/sec regressed by more than tolerance
+// fails the run. candPath "" means measure a fresh candidate now, at the
+// baseline's own scale, so the two sides always simulate the same work.
+func compare(basePath, candPath string, tolerance float64, iters int) error {
+	if tolerance <= 0 || tolerance >= 1 {
+		return fmt.Errorf("-tolerance %v outside (0,1)", tolerance)
+	}
+	base, err := loadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var cand []Entry
+	candName := candPath
+	if candPath != "" {
+		cf, err := loadFile(candPath)
+		if err != nil {
+			return err
+		}
+		cand = cf.Benchmarks
+	} else {
+		candName = "fresh run"
+		fmt.Fprintf(os.Stderr, "measuring candidate at baseline scale (quick=%v)\n", base.Quick)
+		cand = measureAll(specs(base.Quick), iters)
+	}
+	byName := map[string]Entry{}
+	for _, e := range cand {
+		byName[e.Name] = e
+	}
+
+	fmt.Printf("bench gate: candidate (%s) vs baseline %s (rev %s), tolerance %.0f%%\n",
+		candName, basePath, base.Rev, tolerance*100)
+	compared, regressed := 0, 0
+	for _, b := range base.Benchmarks {
+		c, ok := byName[b.Name]
+		switch {
+		case !ok:
+			fmt.Printf("  %-24s SKIP (not in candidate)\n", b.Name)
+		case b.Group != "workload" || b.EpochsPerSec <= 0:
+			// Micro-benches: context only.
+			fmt.Printf("  %-24s info  %8.0f -> %8.0f ns/op\n", b.Name, b.NsPerOp, c.NsPerOp)
+		case c.Nodes != b.Nodes || c.Epochs != b.Epochs:
+			fmt.Printf("  %-24s SKIP (scale %dx%d vs baseline %dx%d)\n",
+				b.Name, c.Nodes, c.Epochs, b.Nodes, b.Epochs)
+		case c.EpochsPerSec <= 0:
+			fmt.Printf("  %-24s SKIP (candidate has no throughput)\n", b.Name)
+		default:
+			compared++
+			ratio := c.EpochsPerSec / b.EpochsPerSec
+			verdict := "ok"
+			if ratio < 1-tolerance {
+				verdict = "REGRESSION"
+				regressed++
+			}
+			fmt.Printf("  %-24s %s  %9.0f -> %9.0f epochs/s (%+.1f%%)\n",
+				b.Name, verdict, b.EpochsPerSec, c.EpochsPerSec, (ratio-1)*100)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable workload benchmarks between candidate and %s — the gate would be vacuous", basePath)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d workload benchmarks regressed more than %.0f%% vs %s",
+			regressed, compared, tolerance*100, basePath)
+	}
+	fmt.Printf("gate passed: %d workload benchmarks within %.0f%% of baseline\n", compared, tolerance*100)
 	return nil
 }
 
@@ -322,11 +427,22 @@ func main() {
 	rev := flag.String("rev", "auto", "revision tag for the output file (auto = git short hash)")
 	out := flag.String("out", "", "output path (default BENCH_<rev>.json)")
 	checkPath := flag.String("check", "", "validate an existing bench file and exit")
+	comparePath := flag.String("compare", "", "baseline bench file: gate a candidate (positional arg, or a fresh run) against it")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional epochs/sec regression for -compare")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	flag.Parse()
 
 	if *checkPath != "" {
 		if err := check(*checkPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *comparePath != "" {
+		if *iters < 1 {
+			log.Fatal("-n must be >= 1")
+		}
+		if err := compare(*comparePath, flag.Arg(0), *tolerance, *iters); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -374,17 +490,7 @@ func main() {
 		Iterations: *iters,
 	}
 
-	for _, s := range all {
-		fmt.Fprintf(os.Stderr, "running %-24s ", s.name)
-		e := measure(s, *iters)
-		line := fmt.Sprintf("%12.0f ns/op %8d allocs/op", e.NsPerOp, e.AllocsPerOp)
-		if e.EpochsPerSec > 0 {
-			line += fmt.Sprintf("  %10.0f epochs/s  %12.0f node-epochs/s",
-				e.EpochsPerSec, e.NodeEpochsPerSec)
-		}
-		fmt.Fprintln(os.Stderr, line)
-		f.Benchmarks = append(f.Benchmarks, e)
-	}
+	f.Benchmarks = measureAll(all, *iters)
 
 	if err := f.Validate(); err != nil {
 		log.Fatalf("refusing to write invalid output: %v", err)

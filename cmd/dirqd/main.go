@@ -12,6 +12,14 @@
 //	dirqd [-addr :8080] [-shards 2] [-nodes 50] [-mode fixed|atc]
 //	      [-delta 5] [-rho 0.4] [-seed 1] [-loss 0] [-hetero]
 //	      [-horizon 0] [-step 25] [-settle 0] [-tick 2ms] [-trace 256]
+//	      [-chaos script.json]
+//
+// -chaos loads a scenario-dynamics script (see internal/script and the
+// README's "Scripting scenarios") and runs its timeline on every shard
+// while queries are being served: node kills, sensor regime shifts and
+// drift, threshold retuning, fired at exact epochs. Workload ops are
+// rejected — the clients are the workload. Applied events land in each
+// shard's admission log, so deterministic replay still holds.
 //
 // Endpoints:
 //
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	dirq "repro"
+	"repro/internal/script"
 	"repro/internal/serve"
 )
 
@@ -59,7 +68,20 @@ func main() {
 	settle := flag.Int64("settle", 0, "epochs between admission and answer (0 = tree depth cap + 2)")
 	tick := flag.Duration("tick", 2*time.Millisecond, "idle pacing between simulation passes")
 	traceN := flag.Int("trace", 256, "protocol-event ring buffer per shard (0 = off)")
+	chaosPath := flag.String("chaos", "", "scenario-dynamics script applied to every shard while serving")
 	flag.Parse()
+
+	var chaos []script.Event
+	if *chaosPath != "" {
+		sc, err := script.Load(*chaosPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sc.Workload != (script.Workload{}) {
+			log.Fatalf("%s: the script's workload section has no effect under -chaos (clients are the workload); remove it", *chaosPath)
+		}
+		chaos = sc.Events
+	}
 
 	if *shards < 1 {
 		log.Fatalf("-shards %d < 1", *shards)
@@ -93,6 +115,7 @@ func main() {
 			StepEpochs:   *step,
 			SettleEpochs: *settle,
 			Tick:         *tick,
+			Chaos:        chaos,
 		}
 	}
 	mgr, err := serve.NewManager(cfgs)

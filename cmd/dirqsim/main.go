@@ -5,9 +5,19 @@
 //
 //	dirqsim [-nodes 50] [-epochs 20000] [-coverage 0.4] [-mode fixed|atc]
 //	        [-delta 5] [-rho 0.4] [-seed 1] [-hetero] [-loss 0] [-v] [-json]
+//	        [-script file.json]
 //
 // -json replaces the human-readable summary with one machine-readable
 // JSON object (the -csv counterpart on dirqexp).
+//
+// -script attaches a scenario-dynamics timeline (internal/script; schema
+// in the README's "Scripting scenarios"): the script owns the query
+// workload and fires node kills, sensor regime shifts/drift, workload
+// bursts and threshold retuning at exact epochs. The summary then gains
+// the per-window metrics between events and the repair record of every
+// scripted fault; with -json the whole report is machine-readable and —
+// because nothing in it depends on wall-clock — byte-identical across
+// runs of the same scenario (CI diffs two runs to prove it).
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"os"
 
 	dirq "repro"
+	"repro/internal/script"
 )
 
 // jsonSummary is the machine-readable form of one run, emitted by -json.
@@ -43,6 +54,8 @@ type jsonSummary struct {
 	FloodCost       int64   `json:"flood_cost"`
 	CostFraction    float64 `json:"cost_fraction"`
 	UmaxPerHour     float64 `json:"umax_per_hour"`
+	// Script carries the scenario-dynamics report for -script runs.
+	Script *script.Report `json:"script,omitempty"`
 }
 
 func main() {
@@ -63,6 +76,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-bucket update counts")
 	traceN := flag.Int("trace", 0, "print the last N protocol events")
 	asJSON := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+	scriptPath := flag.String("script", "", "scenario-dynamics script driving the run")
 	flag.Parse()
 
 	cfg.NumNodes = *nodes
@@ -85,6 +99,23 @@ func main() {
 
 	if *traceN > 0 {
 		cfg.TraceCapacity = *traceN
+	}
+
+	var report *script.Report
+	if *scriptPath != "" {
+		// Attach the script as the run's driver but build through the
+		// normal path, so the runner (and with it -trace) stays available.
+		sc, err := script.Load(*scriptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := script.NewPlayer(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.DisableWorkload = true
+		cfg.Script = p
+		report = p.Report()
 	}
 	runner, err := dirq.Build(cfg)
 	if err != nil {
@@ -120,6 +151,7 @@ func main() {
 		case dirq.ATC:
 			s.Rho = cfg.Rho
 		}
+		s.Script = report
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s); err != nil {
@@ -147,6 +179,32 @@ func main() {
 	fmt.Printf("cost vs flooding:        %.1f%%  (paper: 45%%-55%% with ATC)\n", res.CostFraction*100)
 	fmt.Printf("Umax/Hr reference:       %.0f update msgs\n", res.UmaxPerHour)
 
+	if report != nil {
+		fmt.Printf("\nscript %q: %d events, %d faults\n", report.Name, len(report.Events), len(report.Faults))
+		for _, e := range report.Events {
+			status := "applied"
+			if !e.Applied {
+				status = "skipped: " + e.Note
+			}
+			fmt.Printf("  %-40s %s\n", e.Event, status)
+		}
+		for _, f := range report.Faults {
+			if f.RepairedAt >= 0 {
+				fmt.Printf("  fault @%d node %d: subtree of %d repaired in %d epochs\n",
+					f.At, f.Node, f.Detached, f.RepairEpochs)
+			} else {
+				fmt.Printf("  fault @%d node %d: subtree of %d NOT repaired (%d stranded network-wide)\n",
+					f.At, f.Node, f.Detached, f.OrphansLeft)
+			}
+		}
+		fmt.Println("\nper-window metrics between events:")
+		fmt.Printf("  %12s %8s %9s %10s %11s %10s\n",
+			"window", "queries", "%should", "%received", "overshoot%", "cost/flood")
+		for _, w := range report.Windows {
+			fmt.Printf("  %5d-%-6d %8d %9.1f %10.1f %11.2f %10.3f\n",
+				w.From, w.To, w.Queries, w.PctShould, w.PctReceived, w.MeanOvershootPct, w.CostFraction)
+		}
+	}
 	if *verbose {
 		fmt.Println("\nupdate messages per bucket:")
 		for i, v := range res.UpdateTxPerBucket {

@@ -21,7 +21,11 @@
 //   - The analytic cost-model functions CFTotal, CQDMax, CUDMax, FMax.
 //
 // Beyond batch runs, cmd/dirqd (over internal/serve) hosts live networks
-// and answers ad-hoc range queries from external clients over HTTP.
+// and answers ad-hoc range queries from external clients over HTTP, and
+// the scripted scenario-dynamics engine (internal/script, exposed here as
+// Script / RunScript) drives timelines of node kills, sensor regime
+// shifts, workload bursts and threshold retuning through a run while
+// capturing per-window metrics and fault-repair latencies.
 //
 // Quickstart:
 //
@@ -37,6 +41,7 @@ import (
 	"repro/internal/analytic"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/script"
 )
 
 // Scenario fully parameterizes one simulation run. See the field docs on
@@ -86,8 +91,44 @@ func FullScale() ExperimentOptions { return experiments.Full() }
 func QuickScale() ExperimentOptions { return experiments.Quick() }
 
 // ExperimentIDs lists the reproducible artefacts: fig5a, fig5b, fig6,
-// fig7, analytic, headline, lifetime, seeds, selectivity.
+// fig7, analytic, headline, lifetime, seeds, selectivity, churn.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// Script is a declarative scenario-dynamics timeline: scheduled node
+// kills and cascades, sensor regime shifts and drift, query-workload
+// bursts and selectivity changes, threshold retuning. Build one as a Go
+// value or load it from JSON with ParseScript/LoadScript.
+type Script = script.Script
+
+// ScriptEvent is one scheduled entry of a Script.
+type ScriptEvent = script.Event
+
+// ScriptResult bundles the run's Result with the script Report: the
+// resolved timeline, per-window metrics between events, and the repair
+// latency of every scripted fault.
+type ScriptResult = script.Result
+
+// Script event ops.
+const (
+	OpKill     = script.OpKill
+	OpCascade  = script.OpCascade
+	OpShift    = script.OpShift
+	OpDrift    = script.OpDrift
+	OpBurst    = script.OpBurst
+	OpCoverage = script.OpCoverage
+	OpRetune   = script.OpRetune
+)
+
+// ParseScript decodes and validates a JSON script document.
+func ParseScript(data []byte) (*Script, error) { return script.Parse(data) }
+
+// LoadScript reads and parses a JSON script file.
+func LoadScript(path string) (*Script, error) { return script.Load(path) }
+
+// RunScript executes cfg with the script driving the run: the script owns
+// the query workload and fires its timeline at exact epochs. Same cfg +
+// same script ⇒ byte-identical results.
+func RunScript(cfg Scenario, s *Script) (*ScriptResult, error) { return script.Run(cfg, s) }
 
 // ExperimentTable is a rendered experiment result.
 type ExperimentTable = experiments.Table

@@ -85,7 +85,36 @@ func TestFacadeExperiment(t *testing.T) {
 	if !strings.Contains(buf.String(), "fMax") {
 		t.Fatalf("rendered table missing fMax: %s", buf.String())
 	}
-	if len(ExperimentIDs()) != 9 {
+	if len(ExperimentIDs()) != 10 {
 		t.Fatalf("ExperimentIDs = %v", ExperimentIDs())
+	}
+}
+
+func TestFacadeScript(t *testing.T) {
+	s, err := ParseScript([]byte(`{
+		"workload": {"interval": 20, "coverage": 0.4},
+		"events": [
+			{"at": 200, "op": "kill"},
+			{"at": 400, "op": "burst", "interval": 10}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultScenario()
+	cfg.NumNodes = 40
+	cfg.Epochs = 800
+	res, err := RunScript(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesInjected == 0 {
+		t.Fatal("scripted run injected no queries")
+	}
+	if len(res.Report.Windows) < 2 || len(res.Report.Faults) != 1 {
+		t.Fatalf("report shape: %d windows, %d faults", len(res.Report.Windows), len(res.Report.Faults))
+	}
+	if _, err := ParseScript([]byte(`{"events":[{"at":1,"op":"nope"}]}`)); err == nil {
+		t.Fatal("bad op accepted")
 	}
 }

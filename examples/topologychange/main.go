@@ -1,8 +1,9 @@
 // Topologychange demonstrates §4.2: DirQ's cross-layer coupling with the
-// LMAC-style TDMA MAC lets the network absorb node deaths. When a node
-// falls silent, its neighbors' MACs detect the missed slots and notify
-// DirQ, which purges the dead node's range-table rows, re-attaches the
-// orphaned subtree, and keeps routing queries accurately.
+// LMAC-style TDMA MAC lets the network absorb node deaths. Instead of
+// hand-driving the engine, the whole scenario is a declarative script —
+// a kill mid-run, then a two-death cascade — and the script report tells
+// us how big each detached subtree was, how long the repair took, and how
+// accuracy and cost held up in every window between the faults.
 package main
 
 import (
@@ -10,91 +11,35 @@ import (
 	"log"
 
 	dirq "repro"
-	"repro/internal/lmac"
-	"repro/internal/query"
-	"repro/internal/sensordata"
-	"repro/internal/sim"
-	"repro/internal/topology"
 )
 
 func main() {
 	log.SetFlags(0)
 
 	cfg := dirq.DefaultScenario()
-	cfg.Seed = 11
-	cfg.Epochs = 3000
-	cfg.FixedPct = 3
+	cfg.Seed, cfg.Epochs, cfg.FixedPct = 11, 3000, 3
 
-	r, err := dirq.Build(cfg)
+	res, err := dirq.RunScript(cfg, &dirq.Script{
+		Name: "topology-change",
+		Events: []dirq.ScriptEvent{
+			{At: 1500, Op: dirq.OpKill},                           // auto-picked internal node
+			{At: 2000, Op: dirq.OpCascade, Count: 2, Spacing: 80}, // a follow-up cascade
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("Topology-change demo: killing an internal node mid-run")
-	fmt.Println("=======================================================")
-
-	// Pick an internal (non-root) victim before starting.
-	var victim topology.NodeID = -1
-	for _, id := range r.Tree.Nodes() {
-		if id != topology.Root && len(r.Tree.Children(id)) >= 2 {
-			victim = id
-			break
-		}
+	fmt.Println("Topology-change demo: scripted node deaths mid-run")
+	fmt.Println("==================================================")
+	for _, f := range res.Report.Faults {
+		fmt.Printf("epoch %d: node %d died, subtree of %d detached, repaired in %d epochs\n",
+			f.At, f.Node, f.Detached, f.RepairEpochs)
 	}
-	if victim < 0 {
-		log.Fatal("no internal node to kill in this draw")
+	for _, w := range res.Report.Windows {
+		fmt.Printf("window %4d-%4d: %2d queries, received %.1f%%, overshoot %.2f%%, cost %.1f%% of flooding\n",
+			w.From, w.To, w.Queries, w.PctReceived, w.MeanOvershootPct, w.CostFraction*100)
 	}
-	kids := append([]topology.NodeID(nil), r.Tree.Children(victim)...)
-	fmt.Printf("victim: node %d at depth %d with children %v\n\n",
-		victim, r.Tree.Depth(victim), kids)
-
-	// Schedule the kill at epoch 1500, after the network has warmed up.
-	r.Engine.SchedulePrio(1500, lmac.PrioApp, func() {
-		fmt.Printf("[epoch 1500] node %d powered off\n", victim)
-		r.Proto.KillNode(victim)
-	})
-	// Probe the repair shortly after the MAC's dead threshold elapses.
-	r.Engine.SchedulePrio(1520, lmac.PrioMetrics, func() {
-		fmt.Printf("[epoch 1520] tree contains victim: %v; orphans: %v\n",
-			r.Tree.Contains(victim), r.Proto.Orphans())
-		for _, kid := range kids {
-			if r.Tree.Contains(kid) {
-				p, _ := r.Tree.Parent(kid)
-				fmt.Printf("            child %d re-attached under node %d\n", kid, p)
-			} else {
-				fmt.Printf("            child %d still orphaned\n", kid)
-			}
-		}
-	})
-	// At epoch 2000, inject a match-everything query and verify that every
-	// live relevant node still gets it.
-	r.Engine.SchedulePrio(2000, lmac.PrioApp+1, func() {
-		ty := sensordata.Temperature
-		lo, hi := ty.Span()
-		q := query.Query{ID: 999999, Type: ty, Lo: lo, Hi: hi}
-		truth := query.Resolve(q, r.Tree, r.Mounted,
-			func(id topology.NodeID) float64 { return r.Gen.Value(id, ty) })
-		rec := r.Proto.InjectQuery(q, truth)
-		r.Engine.SchedulePrio(2040, lmac.PrioMetrics, func() {
-			missed := 0
-			for id := range truth.Should {
-				if !rec.Received[id] {
-					missed++
-				}
-			}
-			fmt.Printf("[epoch 2040] audit query: %d relevant live nodes, %d missed, victim reached: %v\n",
-				len(truth.Should), missed, rec.Received[victim])
-		})
-	})
-
-	res := r.Run()
-
-	fmt.Println()
-	fmt.Printf("run complete: %d queries, mean overshoot %.2f%%, cost %.1f%% of flooding\n",
+	fmt.Printf("\nrun complete: %d queries, mean overshoot %.2f%%, cost %.1f%% of flooding\n",
 		res.QueriesInjected, res.Summary.MeanOvershoot, res.CostFraction*100)
-	if err := r.Tree.Validate(); err != nil {
-		log.Fatalf("tree invariant violated after churn: %v", err)
-	}
-	fmt.Println("tree invariants hold after the repair.")
-	_ = sim.Time(0)
 }

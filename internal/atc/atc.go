@@ -172,6 +172,22 @@ func (c *Controller) OnEstimate(e core.EstimateMsg) {
 	c.deltaPct = clamp(pct, c.cfg.MinPct, c.cfg.MaxPct)
 }
 
+// Retune implements core.Retunable: pct becomes the new ceiling of the
+// control band (the floor shrinks with it if needed) and the current δ is
+// reclamped immediately. Subsequent estimates keep adapting inside the new
+// band, so a retune steers the ATC without suspending it. Non-positive pct
+// is ignored.
+func (c *Controller) Retune(pct float64) {
+	if pct <= 0 {
+		return
+	}
+	c.cfg.MaxPct = pct
+	if c.cfg.MinPct > pct {
+		c.cfg.MinPct = pct
+	}
+	c.deltaPct = clamp(c.deltaPct, c.cfg.MinPct, c.cfg.MaxPct)
+}
+
 // Gain exposes the feedback gain (for ablation experiments and tests).
 func (c *Controller) Gain() float64 { return c.gain }
 

@@ -35,6 +35,24 @@ func (f *FixedController) OnEpoch(float64) {}
 // OnUpdateSent is a no-op for a fixed threshold.
 func (f *FixedController) OnUpdateSent() {}
 
+// Retunable is an optional Controller capability: live retargeting of the
+// threshold while a run is in progress (scripted scenario dynamics use it
+// to model an operator retuning the deployment). Fixed controllers take
+// the new percentage verbatim; the ATC reinterprets it as a new ceiling
+// for its control band.
+type Retunable interface {
+	Retune(pct float64)
+}
+
+var _ Retunable = (*FixedController)(nil)
+var _ Retunable = (*FreezeController)(nil)
+
+// Retune sets the fixed threshold.
+func (f *FixedController) Retune(pct float64) { f.Pct = pct }
+
+// Retune sets the fixed threshold (the freeze schedule is unaffected).
+func (f *FreezeController) Retune(pct float64) { f.Pct = pct }
+
 // UpdateFreezer is an optional Controller capability: while UpdatesFrozen
 // reports true the node suppresses all Update Messages, leaving ancestors
 // with whatever range information they last received. This models the

@@ -167,6 +167,10 @@ func (p *Protocol) Node(id topology.NodeID) *Node { return p.nodes[id] }
 // Tree returns the current communication tree.
 func (p *Protocol) Tree() *topology.Tree { return p.tree }
 
+// OrphanCount returns the number of nodes currently orphaned — an O(1)
+// alternative to len(Orphans()) for per-epoch health checks.
+func (p *Protocol) OrphanCount() int { return len(p.orphaned) }
+
 // Orphans returns nodes that lost their tree attachment and could not be
 // re-attached, in ascending order.
 func (p *Protocol) Orphans() []topology.NodeID {
@@ -414,6 +418,24 @@ func (p *Protocol) reattachOrphans() {
 // after the MAC's dead threshold and the cross-layer path repairs the tree.
 func (p *Protocol) KillNode(id topology.NodeID) {
 	p.mac.Kill(id)
+}
+
+// RetuneAll retargets the threshold of every live non-root node whose
+// controller is Retunable (fixed-δ controllers take pct verbatim, the ATC
+// re-caps its band) and returns how many controllers accepted the change.
+func (p *Protocol) RetuneAll(pct float64) int {
+	n := 0
+	for i := range p.nodes {
+		id := topology.NodeID(i)
+		if id == p.tree.Root() || !p.channel.Alive(id) {
+			continue
+		}
+		if rt, ok := p.nodes[i].Controller().(Retunable); ok {
+			rt.Retune(pct)
+			n++
+		}
+	}
+	return n
 }
 
 // EstimateSeq returns the number of estimate broadcasts emitted so far.

@@ -204,7 +204,7 @@ func TestRunAll(t *testing.T) {
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 9 {
+	if len(ids) != 10 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	seen := map[string]bool{}
@@ -310,5 +310,47 @@ func TestSelectivityExperiment(t *testing.T) {
 	}
 	if len(r.Table().Rows) != len(r.Bins) {
 		t.Fatal("table shape")
+	}
+}
+
+func TestChurnExperiment(t *testing.T) {
+	// Sequential vs parallel sweeps must agree point for point (the churn
+	// runs are scripted, so the determinism guarantee extends to them).
+	// Paper-scale density: tiny()'s 25-node draws are sparse enough that
+	// hub kills legitimately strand their whole subtree, which is exactly
+	// what the experiment measures but not what this test asserts on.
+	o := tiny()
+	o.NumNodes = 50
+	o.Workers = 1
+	seq, err := Churn(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 4
+	par, err := Churn(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Points) != len(churnKills) {
+		t.Fatalf("%d points, want %d", len(seq.Points), len(churnKills))
+	}
+	for i := range seq.Points {
+		if seq.Points[i] != par.Points[i] {
+			t.Fatalf("point %d differs across worker counts:\nseq: %+v\npar: %+v",
+				i, seq.Points[i], par.Points[i])
+		}
+	}
+	if seq.Points[0].Kills != 0 || seq.Points[0].Repaired != 0 {
+		t.Fatalf("baseline point has faults: %+v", seq.Points[0])
+	}
+	repaired := 0
+	for _, p := range seq.Points[1:] {
+		repaired += p.Repaired
+	}
+	if repaired == 0 {
+		t.Fatal("no kill in the sweep was ever repaired")
+	}
+	if got := len(seq.Table().Rows); got != len(churnKills) {
+		t.Fatalf("churn table has %d rows", got)
 	}
 }

@@ -20,11 +20,12 @@ const (
 	IDLifetime = "lifetime"
 	IDSeeds    = "seeds"
 	IDSelect   = "selectivity"
+	IDChurn    = "churn"
 )
 
 // IDs returns the known experiment identifiers in canonical order.
 func IDs() []string {
-	return []string{IDFig5a, IDFig5b, IDFig6, IDFig7, IDAnalytic, IDHeadline, IDLifetime, IDSeeds, IDSelect}
+	return []string{IDFig5a, IDFig5b, IDFig6, IDFig7, IDAnalytic, IDHeadline, IDLifetime, IDSeeds, IDSelect, IDChurn}
 }
 
 // Run executes one experiment by id and returns its rendered table.
@@ -80,6 +81,12 @@ func Run(id string, o Options) (*Table, error) {
 		return r.Table(), nil
 	case IDSelect:
 		r, err := Selectivity(o, 400)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case IDChurn:
+		r, err := Churn(o)
 		if err != nil {
 			return nil, err
 		}

@@ -110,6 +110,18 @@ func NewWorkload(target float64, rng *sim.RNG) (*Workload, error) {
 // Target returns the configured involvement fraction.
 func (w *Workload) Target() float64 { return w.target }
 
+// SetTarget retargets the involvement fraction mid-stream (scripted
+// selectivity changes). Queries generated after the call aim for the new
+// fraction; the RNG stream is untouched, so the change is deterministic
+// when applied at a fixed point of the query sequence.
+func (w *Workload) SetTarget(target float64) error {
+	if target <= 0 || target > 1 {
+		return fmt.Errorf("query: target coverage %v outside (0,1]", target)
+	}
+	w.target = target
+	return nil
+}
+
 // Next produces the next query against the current state of the dataset.
 // Sensor types rotate round-robin so all four types are exercised. The
 // returned ground truth is the query's at generation time.

@@ -117,6 +117,15 @@ type Config struct {
 	// where clients, not the simulation, decide what to ask and when.
 	DisableWorkload bool
 
+	// Script optionally attaches a scenario-dynamics timeline (built by
+	// internal/script) that Run executes instead of the plain
+	// step-to-the-horizon drive: scheduled node kills, sensor regime
+	// shifts, workload bursts, threshold retuning. The driver owns the
+	// query workload, so DisableWorkload must be set alongside it
+	// (script.Run does both). Typed as an interface to keep the layering
+	// acyclic; only internal/script implements it.
+	Script Dynamics `json:"-"`
+
 	// TraceCapacity, when positive, records the most recent protocol
 	// events (updates, deliveries, deaths, re-attachments) into a ring
 	// buffer exposed as Runner.Trace.
@@ -128,6 +137,15 @@ type Config struct {
 	// WarmupEpochs delays the first query so initial range reports can
 	// climb the tree.
 	WarmupEpochs int64
+}
+
+// Dynamics drives a started Runner to its horizon on behalf of Run,
+// applying a scenario-dynamics timeline and injecting its own query
+// workload between steps. Implementations must be deterministic: the same
+// timeline on the same Config reproduces the identical event sequence.
+// internal/script provides the declarative implementation.
+type Dynamics interface {
+	Drive(r *Runner)
 }
 
 // LoadPhase is one segment of a time-varying query workload.
@@ -200,6 +218,9 @@ func (c Config) Validate() error {
 	}
 	if c.PacketLoss < 0 || c.PacketLoss >= 1 {
 		return fmt.Errorf("scenario: PacketLoss %v outside [0,1)", c.PacketLoss)
+	}
+	if c.Script != nil && !c.DisableWorkload {
+		return fmt.Errorf("scenario: Script drives the query workload itself; set DisableWorkload (script.Run does)")
 	}
 	prev := int64(0)
 	for i, ph := range c.LoadPhases {
@@ -635,11 +656,24 @@ func (r *Runner) QueriesInjected() int { return r.queries }
 // headline cost fraction.
 func (r *Runner) FloodBaseline() int64 { return r.flooded }
 
+// SetWorkloadCoverage retargets the built-in workload generator's
+// involved-node fraction for queries drawn after the call (scripted
+// selectivity changes).
+func (r *Runner) SetWorkloadCoverage(target float64) error {
+	return r.workload.SetTarget(target)
+}
+
 // Run executes the configured number of epochs and produces the Result.
-// It is equivalent to Start, Step to the horizon, Snapshot.
+// Without a Config.Script it is equivalent to Start, Step to the horizon,
+// Snapshot; with one, the script's driver owns the stepping (and the
+// query workload) between Start and Snapshot.
 func (r *Runner) Run() *Result {
 	r.Start()
-	r.Step(r.Cfg.Epochs)
+	if r.Cfg.Script != nil {
+		r.Cfg.Script.Drive(r)
+	} else {
+		r.Step(r.Cfg.Epochs)
+	}
 	return r.Snapshot()
 }
 

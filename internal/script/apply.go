@@ -1,0 +1,101 @@
+package script
+
+import (
+	"repro/internal/scenario"
+	"repro/internal/sensordata"
+	"repro/internal/topology"
+)
+
+// Apply executes one runner-op event against a live simulation at the
+// current epoch. It returns the event with auto-picked parameters resolved
+// (a kill's concrete victim), whether it applied, and a human-readable
+// note when it did not. Workload ops (burst, coverage) are the Player's
+// business and report "workload op" unapplied.
+//
+// Apply is what both drivers share: the Player's timeline and the serve
+// layer's chaos mode (live application and log replay) funnel through it,
+// so an event means exactly the same thing everywhere.
+func Apply(r *scenario.Runner, e Event) (Event, bool, string) {
+	switch e.Op {
+	case OpKill:
+		victim := topology.NodeID(e.Node)
+		if e.Node <= 0 {
+			victim = pickVictim(r)
+			if victim < 0 {
+				return e, false, "no live internal node to kill"
+			}
+		} else if !killable(r, victim) {
+			return e, false, "target not a live non-root tree node"
+		}
+		e.Node = int(victim)
+		r.Proto.KillNode(victim)
+		return e, true, ""
+	case OpShift:
+		t, err := parseType(e.Type)
+		if err != nil {
+			return e, false, err.Error()
+		}
+		r.Gen.ShiftBase(t, e.Delta)
+		return e, true, ""
+	case OpDrift:
+		if e.Type == "" {
+			for _, t := range sensordata.AllTypes() {
+				r.Gen.ScaleDynamics(t, e.Scale)
+			}
+			return e, true, ""
+		}
+		t, err := parseType(e.Type)
+		if err != nil {
+			return e, false, err.Error()
+		}
+		r.Gen.ScaleDynamics(t, e.Scale)
+		return e, true, ""
+	case OpRetune:
+		if n := r.Proto.RetuneAll(e.Delta); n == 0 {
+			return e, false, "no retunable controllers"
+		}
+		return e, true, ""
+	case OpBurst, OpCoverage:
+		return e, false, "workload op"
+	default:
+		return e, false, "unknown op"
+	}
+}
+
+// killable reports whether id is a live, non-root member of the tree.
+func killable(r *scenario.Runner, id topology.NodeID) bool {
+	return id != topology.Root && int(id) < r.Graph.Len() &&
+		r.Channel.Alive(id) && r.Tree.Contains(id)
+}
+
+// pickVictim deterministically selects the auto-kill target: the live
+// non-root tree node with the most children (an internal node, so the
+// death actually orphans a subtree), lowest ID on ties; a leaf if the tree
+// has no internal node left; -1 if only the root survives.
+func pickVictim(r *scenario.Runner) topology.NodeID {
+	best := topology.NodeID(-1)
+	bestKids := -1
+	for _, id := range r.Tree.Nodes() {
+		if id == topology.Root || !r.Channel.Alive(id) {
+			continue
+		}
+		kids := len(r.Tree.Children(id))
+		if kids > bestKids || (kids == bestKids && id < best) {
+			best, bestKids = id, kids
+		}
+	}
+	return best
+}
+
+// Subtree counts the nodes of the tree rooted at id (including id) — the
+// blast radius of killing it.
+func Subtree(r *scenario.Runner, id topology.NodeID) int {
+	if !r.Tree.Contains(id) {
+		return 0
+	}
+	n := 1
+	for _, kid := range r.Tree.Children(id) {
+		n += Subtree(r, kid)
+	}
+	return n
+}

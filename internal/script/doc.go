@@ -1,0 +1,22 @@
+// Package script is the declarative scenario-dynamics engine: a Script is
+// a timeline of scheduled events — node kills and cascading failures
+// (§4.2's topology changes), sensor-value regime shifts and drift (the
+// "rate of variation" §6's ATC adapts to), query-workload bursts and
+// selectivity changes (§1's extrinsic dynamism), and threshold retuning —
+// that a Player drives deterministically through scenario's steppable
+// runner. Between events the Player captures per-window metrics
+// (accuracy, cost vs flooding) and after every fault it measures the
+// tree-repair latency, so one scripted run answers "how does DirQ behave
+// while the network changes underneath it" — the paper's central claim —
+// without hand-written driver code.
+//
+// In the repo's layer map this is assembly, one level above scenario:
+// scripts are plain Go values or JSON documents (Parse/Load), and the
+// same script with the same seed reproduces byte-identical results
+// however the run is driven. The serve layer reuses the event vocabulary
+// for chaos-mode shards (ShardConfig.Chaos), where events apply while
+// live client queries are being served and are recorded in the admission
+// log so Shard.Replay stays exact; the experiments layer sweeps scripted
+// failure rates in the "churn" experiment; cmd/dirqsim runs a script from
+// -script file.json.
+package script

@@ -1,0 +1,354 @@
+package script
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sensordata"
+	"repro/internal/topology"
+)
+
+// testCfg is a reduced-scale scenario that still exercises warm-up,
+// injections, hourly estimates, and tree repair.
+func testCfg(mode scenario.ThresholdMode) scenario.Config {
+	cfg := scenario.Default()
+	cfg.Seed = 7
+	cfg.NumNodes = 30
+	cfg.Epochs = 1500
+	cfg.Mode = mode
+	return cfg
+}
+
+// testScript exercises every op: kill, cascade, shift, drift, burst,
+// coverage, retune.
+func testScript() *Script {
+	return &Script{
+		Name:     "all-ops",
+		Workload: Workload{Interval: 20, Coverage: 0.4},
+		Events: []Event{
+			{At: 300, Op: OpKill},
+			{At: 450, Op: OpCascade, Count: 2, Spacing: 60},
+			{At: 600, Op: OpShift, Type: "temperature", Delta: 5},
+			{At: 700, Op: OpDrift, Scale: 2},
+			{At: 900, Op: OpBurst, Interval: 5},
+			{At: 1100, Op: OpBurst, Interval: 40},
+			{At: 1200, Op: OpCoverage, Coverage: 0.2},
+			{At: 1300, Op: OpRetune, Delta: 3},
+		},
+	}
+}
+
+// stripDriver clears the non-comparable driver handle so two Results can
+// be DeepEqual-ed field by field.
+func stripDriver(res *Result) {
+	res.Config.Script = nil
+}
+
+// TestReplayDeterminism is the tentpole invariant: the same script on the
+// same seed reproduces byte-identical metrics — scenario Result and
+// script Report — for both threshold modes.
+func TestReplayDeterminism(t *testing.T) {
+	for _, mode := range []scenario.ThresholdMode{scenario.FixedDelta, scenario.ATC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a, err := Run(testCfg(mode), testScript())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(testCfg(mode), testScript())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripDriver(a)
+			stripDriver(b)
+			if !reflect.DeepEqual(a.Result, b.Result) {
+				t.Fatalf("scenario Results differ across identical scripted runs\na: %+v\nb: %+v",
+					a.Summary, b.Summary)
+			}
+			if !reflect.DeepEqual(a.Report, b.Report) {
+				t.Fatalf("script Reports differ across identical scripted runs\na: %+v\nb: %+v",
+					a.Report, b.Report)
+			}
+			// The wire form must be deterministic too (CI diffs two runs).
+			ja, _ := json.Marshal(a)
+			jb, _ := json.Marshal(b)
+			if string(ja) != string(jb) {
+				t.Fatal("JSON encodings differ across identical scripted runs")
+			}
+		})
+	}
+}
+
+// TestRunVsManualDrive checks that the packaged Run and an explicitly
+// driven Build/Start/Drive/Snapshot sequence produce identical results —
+// the scripted analogue of scenario's Run/Step equivalence.
+func TestRunVsManualDrive(t *testing.T) {
+	for _, mode := range []scenario.ThresholdMode{scenario.FixedDelta, scenario.ATC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			packaged, err := Run(testCfg(mode), testScript())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			p, err := NewPlayer(testScript())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testCfg(mode)
+			cfg.DisableWorkload = true
+			cfg.Script = p
+			r, err := scenario.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Start()
+			p.Drive(r)
+			manual := &Result{Result: r.Snapshot(), Report: p.Report()}
+
+			stripDriver(packaged)
+			stripDriver(manual)
+			if !reflect.DeepEqual(packaged.Result, manual.Result) {
+				t.Fatal("manual drive diverged from script.Run")
+			}
+			if !reflect.DeepEqual(packaged.Report, manual.Report) {
+				t.Fatal("manual drive Report diverged from script.Run")
+			}
+		})
+	}
+}
+
+// TestKillRepair checks that scripted kills are absorbed: faults get
+// resolved victims and finite repair latencies, and the tree invariants
+// hold afterwards.
+func TestKillRepair(t *testing.T) {
+	cfg := testCfg(scenario.FixedDelta)
+	// Paper-scale density: sparse draws can legitimately strand orphans
+	// after repeated hub kills (the churn experiment measures exactly
+	// that); here every kill should be absorbable.
+	cfg.NumNodes = 50
+	s := &Script{Events: []Event{
+		{At: 300, Op: OpKill},
+		{At: 700, Op: OpCascade, Count: 2, Spacing: 50},
+	}}
+	p, err := NewPlayer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableWorkload = true
+	cfg.Script = p
+	r, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	rep := p.Report()
+
+	if len(rep.Faults) != 3 {
+		t.Fatalf("got %d faults, want 3: %+v", len(rep.Faults), rep.Faults)
+	}
+	for i, f := range rep.Faults {
+		if f.Node <= 0 {
+			t.Fatalf("fault %d: unresolved victim: %+v", i, f)
+		}
+		if f.RepairedAt < 0 || f.RepairEpochs <= 0 {
+			t.Fatalf("fault %d not repaired: %+v", i, f)
+		}
+		if f.Detached < 1 {
+			t.Fatalf("fault %d: empty subtree: %+v", i, f)
+		}
+		if r.Tree.Contains(topology.NodeID(f.Node)) {
+			t.Fatalf("fault %d: victim %d still in tree", i, f.Node)
+		}
+	}
+	if err := r.Tree.Validate(); err != nil {
+		t.Fatalf("tree invariants violated after scripted churn: %v", err)
+	}
+	if res.QueriesInjected == 0 {
+		t.Fatal("no queries injected by the script workload")
+	}
+}
+
+// TestBurstAndCoverage checks the workload ops through the window report:
+// a 4x injection-rate burst multiplies the per-window query count, and a
+// coverage drop shrinks the involved-node fraction.
+func TestBurstAndCoverage(t *testing.T) {
+	res, err := Run(testCfg(scenario.FixedDelta), testScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFrom := map[int64]Window{}
+	for _, w := range res.Report.Windows {
+		byFrom[w.From] = w
+	}
+	before, burst := byFrom[700], byFrom[900]
+	if before.To != 900 || burst.To != 1100 {
+		t.Fatalf("unexpected window boundaries: %+v", res.Report.Windows)
+	}
+	// Interval 20 -> 5 over an equal 200-epoch span: ~4x the queries.
+	if burst.Queries < 3*before.Queries {
+		t.Fatalf("burst window has %d queries vs %d before; want ~4x", burst.Queries, before.Queries)
+	}
+	cov := byFrom[1200]
+	if cov.Queries == 0 || before.Queries == 0 {
+		t.Fatalf("empty comparison windows: %+v", res.Report.Windows)
+	}
+	if cov.PctShould >= before.PctShould {
+		t.Fatalf("coverage 0.2 window involvement %.1f%% not below coverage 0.4 window %.1f%%",
+			cov.PctShould, before.PctShould)
+	}
+}
+
+// TestShiftMovesField checks the regime-shift hook end to end: applying
+// OpShift moves the network-mean reading by about the delta.
+func TestShiftMovesField(t *testing.T) {
+	cfg := testCfg(scenario.FixedDelta)
+	r, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func() float64 {
+		sum := 0.0
+		n := 0
+		for id := 0; id < r.Graph.Len(); id++ {
+			sum += r.Gen.Value(topology.NodeID(id), sensordata.Temperature)
+			n++
+		}
+		return sum / float64(n)
+	}
+	before := mean()
+	if _, ok, note := Apply(r, Event{Op: OpShift, Type: "temperature", Delta: 5}); !ok {
+		t.Fatalf("shift not applied: %s", note)
+	}
+	if got := mean() - before; got < 3 || got > 7 {
+		// Clamping at span edges keeps the realized shift near, not at, 5.
+		t.Fatalf("mean moved by %.2f, want ~5", got)
+	}
+}
+
+// TestExpandCascade checks cascade flattening and ordering.
+func TestExpandCascade(t *testing.T) {
+	s := &Script{Events: []Event{
+		{At: 100, Op: OpCascade, Count: 3, Spacing: 50, Node: 4},
+		{At: 120, Op: OpShift, Type: "light", Delta: -10},
+	}}
+	events, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{At: 100, Op: OpKill, Node: 4},
+		{At: 120, Op: OpShift, Type: "light", Delta: -10},
+		{At: 150, Op: OpKill},
+		{At: 200, Op: OpKill},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("expanded timeline\ngot:  %+v\nwant: %+v", events, want)
+	}
+}
+
+// TestParseRejects exercises the JSON validation surface.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown op", `{"events":[{"at":10,"op":"explode"}]}`},
+		{"unknown field", `{"events":[{"at":10,"op":"kill","frobnicate":1}]}`},
+		{"unordered", `{"events":[{"at":20,"op":"kill"},{"at":10,"op":"kill"}]}`},
+		{"negative epoch", `{"events":[{"at":-1,"op":"kill"}]}`},
+		{"bad type", `{"events":[{"at":5,"op":"shift","type":"pressure","delta":1}]}`},
+		{"zero shift", `{"events":[{"at":5,"op":"shift","type":"light"}]}`},
+		{"bad scale", `{"events":[{"at":5,"op":"drift","scale":0}]}`},
+		{"bad interval", `{"events":[{"at":5,"op":"burst"}]}`},
+		{"bad coverage", `{"events":[{"at":5,"op":"coverage","coverage":1.5}]}`},
+		{"bad retune", `{"events":[{"at":5,"op":"retune"}]}`},
+		{"bad cascade", `{"events":[{"at":5,"op":"cascade"}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tc.doc)); err == nil {
+				t.Fatalf("Parse accepted %s", tc.doc)
+			}
+		})
+	}
+}
+
+// TestCommittedExampleScript keeps the repo's example scenario file (used
+// by the CI determinism smoke job and the README) parseable and valid.
+func TestCommittedExampleScript(t *testing.T) {
+	s, err := Load("../../scripts/churn.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("example script has no events")
+	}
+	ops := map[Op]bool{}
+	for _, e := range s.Events {
+		ops[e.Op] = true
+	}
+	for _, want := range []Op{OpKill, OpDrift, OpBurst} {
+		if !ops[want] && !(want == OpKill && ops[OpCascade]) {
+			t.Fatalf("example script misses op %q (has %v)", want, ops)
+		}
+	}
+
+	// The serving-chaos example must parse too, and must stay runner-ops
+	// only (dirqd -chaos rejects workload ops).
+	chaos, err := Load("../../scripts/chaos.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range chaos.Events {
+		if !e.RunnerOp() {
+			t.Fatalf("chaos example contains workload op %q", e.Op)
+		}
+	}
+}
+
+// TestScriptRequiresDisabledWorkload guards against double workloads.
+func TestScriptRequiresDisabledWorkload(t *testing.T) {
+	p, err := NewPlayer(&Script{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg(scenario.FixedDelta)
+	cfg.Script = p
+	if _, err := scenario.Build(cfg); err == nil {
+		t.Fatal("Build accepted a Script without DisableWorkload")
+	}
+}
+
+// TestHorizonEventSkipped checks the timeline bound: an event at or past
+// the horizon never fires (no phantom fault), and is recorded as skipped.
+func TestHorizonEventSkipped(t *testing.T) {
+	cfg := testCfg(scenario.FixedDelta)
+	s := &Script{Events: []Event{
+		{At: cfg.Epochs, Op: OpKill},
+		{At: cfg.Epochs + 100, Op: OpKill},
+	}}
+	p, err := NewPlayer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableWorkload = true
+	cfg.Script = p
+	r, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+	rep := p.Report()
+	if len(rep.Faults) != 0 {
+		t.Fatalf("horizon event produced faults: %+v", rep.Faults)
+	}
+	if len(rep.Events) != 2 {
+		t.Fatalf("%d events recorded, want 2", len(rep.Events))
+	}
+	for _, e := range rep.Events {
+		if e.Applied || e.Note != "at or past the horizon" {
+			t.Fatalf("horizon event not skipped: %+v", e)
+		}
+	}
+}

@@ -217,11 +217,40 @@ func NewGenerator(positions []topology.Position, rng *sim.RNG) *Generator {
 	return g
 }
 
-// SetParams overrides the field parameters of one sensor type. Must be
-// called before the first Step to keep runs reproducible; values are
-// recomputed immediately.
+// SetParams overrides the field parameters of one sensor type; values are
+// recomputed immediately. It may be called mid-run — the change applies
+// from the current epoch on and the run stays deterministic as long as the
+// call happens at the same epoch across runs (scripted dynamics rely on
+// this). Changing Plumes mid-run alters the per-epoch RNG consumption from
+// that point, which is still deterministic but shifts every later draw.
 func (g *Generator) SetParams(t Type, p FieldParams) {
 	g.fields[t].params = p
+	g.compute()
+}
+
+// Params returns the current field parameters of one sensor type.
+func (g *Generator) Params(t Type) FieldParams {
+	return g.fields[t].params
+}
+
+// ShiftBase adds delta (in the type's physical units) to the resting field
+// level of one sensor type — a regime shift: the whole field jumps and
+// settles at the new level. Values recompute immediately; like SetParams
+// it is deterministic when applied at a fixed epoch.
+func (g *Generator) ShiftBase(t Type, delta float64) {
+	g.fields[t].params.Base += delta
+	g.compute()
+}
+
+// ScaleDynamics multiplies the temporal volatility of one sensor type —
+// plume drift and AR(1) innovation amplitude — by factor. Factors above 1
+// model accelerating drift (a storm front, failing sensors); below 1, a
+// calming field. The RNG draw count per epoch is unchanged, so the other
+// types' streams stay aligned.
+func (g *Generator) ScaleDynamics(t Type, factor float64) {
+	p := &g.fields[t].params
+	p.DriftStep *= factor
+	p.NoiseSigma *= factor
 	g.compute()
 }
 

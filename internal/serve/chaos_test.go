@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/script"
+)
+
+// chaosShardConfig schedules kills, a regime shift and drift early enough
+// that a test run's queries straddle them.
+func chaosShardConfig(id string, seed uint64) ShardConfig {
+	cfg := testShardConfig(id, seed)
+	cfg.Scenario.NumNodes = 50 // dense enough that the kills are absorbable
+	cfg.Chaos = []script.Event{
+		{At: 40, Op: script.OpKill},
+		{At: 80, Op: script.OpCascade, Count: 2, Spacing: 30},
+		{At: 150, Op: script.OpShift, Type: "temperature", Delta: 4},
+		{At: 200, Op: script.OpDrift, Scale: 2},
+	}
+	return cfg
+}
+
+// TestChaosShardReplay is the chaos-mode acceptance test: a shard that
+// runs a script while serving concurrent live queries still reproduces
+// every response from its admission log — the log now interleaving
+// queries with the applied (resolved) script events.
+func TestChaosShardReplay(t *testing.T) {
+	const clients = 24
+	cfg := chaosShardConfig("chaos", 11)
+	m := startManager(t, cfg)
+
+	live := make([]*Response, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Spread admissions across epochs so queries land before,
+			// between, and after the chaos events.
+			time.Sleep(time.Duration(i) * 200 * time.Microsecond)
+			typ, lo, hi := spread(i)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			live[i], errs[i] = m.Query(ctx, Request{Type: typ, Lo: lo, Hi: hi})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+
+	sh, _ := m.Shard("chaos")
+	// Let the timeline finish firing even if all queries resolved early.
+	deadline := time.Now().Add(10 * time.Second)
+	for sh.Stats().ChaosPending > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Stop()
+
+	st := sh.Stats()
+	if st.ChaosPending != 0 {
+		t.Fatalf("chaos timeline did not finish: %+v", st)
+	}
+	if st.ChaosApplied == 0 {
+		t.Fatal("no chaos events applied")
+	}
+
+	log := sh.AdmittedLog()
+	events, queries := 0, 0
+	for _, e := range log {
+		if e.Event != nil {
+			events++
+			if e.Event.Op == script.OpKill && e.Event.Node <= 0 {
+				t.Fatalf("logged kill not resolved to a concrete victim: %+v", e.Event)
+			}
+		} else {
+			queries++
+		}
+	}
+	if events != st.ChaosApplied {
+		t.Fatalf("%d event entries in log, stats say %d applied", events, st.ChaosApplied)
+	}
+	if queries != clients {
+		t.Fatalf("%d query entries in log, want %d", queries, clients)
+	}
+
+	byID := map[int64]*Response{}
+	for _, r := range live {
+		byID[r.QueryID] = r
+	}
+	fresh, err := NewShard(chaosShardConfig("chaos", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := fresh.Replay(log)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(replayed) != queries {
+		t.Fatalf("replay returned %d responses for %d query entries", len(replayed), queries)
+	}
+	for _, rr := range replayed {
+		lr := byID[rr.QueryID]
+		if lr == nil {
+			t.Fatalf("replayed query %d has no live counterpart", rr.QueryID)
+		}
+		if !reflect.DeepEqual(lr, rr) {
+			t.Fatalf("query %d diverged under chaos replay\nlive:   %+v\nreplay: %+v",
+				rr.QueryID, lr, rr)
+		}
+	}
+	// The fresh shard consumed the same timeline.
+	if got := fresh.Stats().ChaosApplied; got != events {
+		t.Fatalf("replay applied %d chaos events, live applied %d", got, events)
+	}
+}
+
+// TestReplayRejectsPastHorizonEvent checks that a log entry beyond the
+// shard's horizon errors instead of spinning (a query entry would hit
+// ErrHorizonReached; an event entry needs its own guard).
+func TestReplayRejectsPastHorizonEvent(t *testing.T) {
+	cfg := testShardConfig("h", 5)
+	cfg.Scenario.Epochs = 100
+	sh, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill := script.Event{At: 200, Op: script.OpKill, Node: 3}
+	if _, err := sh.Replay([]AdmittedQuery{{Epoch: 200, Event: &kill}}); err == nil {
+		t.Fatal("Replay accepted an event entry past the horizon")
+	}
+}
+
+// TestChaosRejectsWorkloadOps checks the config-time validation: burst
+// and coverage ops make no sense when clients are the workload.
+func TestChaosRejectsWorkloadOps(t *testing.T) {
+	cfg := testShardConfig("bad", 1)
+	cfg.Chaos = []script.Event{{At: 10, Op: script.OpBurst, Interval: 5}}
+	if _, err := NewShard(cfg); err == nil {
+		t.Fatal("NewShard accepted a workload op in Chaos")
+	}
+	cfg.Chaos = []script.Event{{At: 10, Op: script.OpCoverage, Coverage: 0.2}}
+	if _, err := NewShard(cfg); err == nil {
+		t.Fatal("NewShard accepted a coverage op in Chaos")
+	}
+}

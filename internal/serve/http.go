@@ -41,6 +41,9 @@ type ShardInfo struct {
 	StepEpochs   int64  `json:"step_epochs"`
 	SettleEpochs int64  `json:"settle_epochs"`
 	Horizon      int64  `json:"horizon_epochs"`
+	// ChaosEvents counts the scheduled chaos-mode script events, after
+	// cascade expansion (the same unit Stats' chaos counters use).
+	ChaosEvents int `json:"chaos_events,omitempty"`
 }
 
 // errorReply is the JSON body of every non-2xx response.
@@ -115,6 +118,7 @@ func NewHandler(m *Manager) http.Handler {
 				StepEpochs:   cfg.StepEpochs,
 				SettleEpochs: cfg.SettleEpochs,
 				Horizon:      cfg.Scenario.Epochs,
+				ChaosEvents:  sh.ChaosEvents(),
 			})
 		}
 		writeJSON(w, http.StatusOK, infos)

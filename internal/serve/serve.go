@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/script"
 	"repro/internal/sensordata"
 	"repro/internal/topology"
 )
@@ -94,12 +95,17 @@ type Response struct {
 }
 
 // AdmittedQuery is one entry of a shard's admission log: everything that
-// determines the simulation's evolution from the client side.
+// determines the simulation's evolution from the client side. Entries are
+// either client queries (Event nil) or chaos-mode script events applied
+// mid-serve (Event set, with auto-picked parameters resolved, and the
+// query fields zero) — recording both, in application order, keeps
+// Shard.Replay exact under scripted dynamics.
 type AdmittedQuery struct {
 	Epoch int64           `json:"epoch"`
 	Type  sensordata.Type `json:"type"`
 	Lo    float64         `json:"lo"`
 	Hi    float64         `json:"hi"`
+	Event *script.Event   `json:"event,omitempty"`
 }
 
 // ShardStats is one shard's live counters for /stats.
@@ -128,6 +134,10 @@ type ShardStats struct {
 	// TraceEvents counts protocol events ever recorded, when the shard's
 	// scenario enables tracing.
 	TraceEvents uint64 `json:"trace_events,omitempty"`
+	// ChaosApplied / ChaosPending count the chaos-mode script events
+	// already applied and still scheduled, when the shard runs one.
+	ChaosApplied int `json:"chaos_applied,omitempty"`
+	ChaosPending int `json:"chaos_pending,omitempty"`
 }
 
 // accuracyOf converts the metrics accounting to the wire form (dropping

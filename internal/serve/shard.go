@@ -13,6 +13,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/radio"
 	"repro/internal/scenario"
+	"repro/internal/script"
 	"repro/internal/sim"
 )
 
@@ -47,6 +48,13 @@ type ShardConfig struct {
 	Tick time.Duration
 	// QueueDepth bounds the admission queue (default 256).
 	QueueDepth int
+	// Chaos optionally schedules scenario-dynamics events (node kills and
+	// cascades, sensor regime shifts and drift, threshold retuning) that
+	// fire at their exact epochs while the shard serves live queries.
+	// Workload ops (burst, coverage) are rejected — clients are the
+	// workload here. Applied events are recorded in the admission log, so
+	// Replay reproduces a chaos shard's responses exactly.
+	Chaos []script.Event
 }
 
 // withDefaults fills unset knobs.
@@ -103,6 +111,11 @@ type Shard struct {
 	nextID   int64
 	served   int64
 	admitted []AdmittedQuery
+	// chaos is the expanded event timeline; nextChaos indexes the first
+	// event not yet applied.
+	chaos        []script.Event
+	nextChaos    int
+	chaosApplied int
 	// Running accuracy aggregates over answered queries, accumulated at
 	// answer time so Stats stays O(1) however long the shard lives.
 	aggShouldPct    float64
@@ -126,6 +139,10 @@ func NewShardWithEngine(cfg ShardConfig, engine *sim.Engine) (*Shard, error) {
 		return nil, errors.New("serve: shard needs an ID")
 	}
 	cfg.Scenario.DisableWorkload = true
+	chaos, err := expandChaos(cfg.Chaos)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %q: %w", cfg.ID, err)
+	}
 	runner, err := scenario.BuildWithEngine(cfg.Scenario, engine)
 	if err != nil {
 		return nil, fmt.Errorf("serve: shard %q: %w", cfg.ID, err)
@@ -136,7 +153,23 @@ func NewShardWithEngine(cfg ShardConfig, engine *sim.Engine) (*Shard, error) {
 		admit:  make(chan *pendingQuery, cfg.QueueDepth),
 		done:   make(chan struct{}),
 		runner: runner,
+		chaos:  chaos,
 	}, nil
+}
+
+// expandChaos validates and flattens a chaos timeline: runner ops only
+// (the serving clients are the workload), ordered, cascades expanded.
+func expandChaos(events []script.Event) ([]script.Event, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	for _, e := range events {
+		if !e.RunnerOp() {
+			return nil, fmt.Errorf("chaos op %q is a workload op; clients drive the workload of a serving shard", e.Op)
+		}
+	}
+	s := &script.Script{Events: events}
+	return s.Expand()
 }
 
 // claim marks the shard as driven, reporting whether the caller won it.
@@ -163,6 +196,11 @@ func (s *Shard) Engine() *sim.Engine { return s.runner.Engine }
 
 // Config returns the shard's effective (defaulted) configuration.
 func (s *Shard) Config() ShardConfig { return s.cfg }
+
+// ChaosEvents returns the length of the expanded chaos timeline (cascades
+// flattened into individual kills) — the scheduled-event count that
+// ChaosApplied/ChaosPending in Stats refer to.
+func (s *Shard) ChaosEvents() int { return len(s.chaos) }
 
 // Submit queues one query and blocks until it is answered, the context
 // is canceled, or the shard shuts down.
@@ -238,13 +276,17 @@ func (s *Shard) run(ctx context.Context) {
 		}
 
 		// Advance: at most StepEpochs, but never past the earliest
-		// answer deadline (answers must be read at exactly that epoch).
+		// answer deadline (answers must be read at exactly that epoch) or
+		// the next chaos event (which must fire at exactly its epoch).
 		now := s.runner.Epoch()
 		target := now + s.cfg.StepEpochs
 		for _, f := range pending {
 			if f.deadline < target {
 				target = f.deadline
 			}
+		}
+		if s.nextChaos < len(s.chaos) && s.chaos[s.nextChaos].At < target {
+			target = s.chaos[s.nextChaos].At
 		}
 		if target > now {
 			s.runner.Step(target - now)
@@ -264,6 +306,7 @@ func (s *Shard) run(ctx context.Context) {
 			}
 		}
 		pending = kept
+		s.applyChaosLocked(now)
 		s.mu.Unlock()
 
 		// Idle pacing: with nothing in flight, wait for a query or one
@@ -321,6 +364,27 @@ func (s *Shard) injectLocked(req Request) (*inflight, error) {
 	return &inflight{
 		q: q, rec: rec, floodEq: floodEq, admitted: epoch, deadline: deadline,
 	}, nil
+}
+
+// applyChaosLocked fires every chaos event due at or before the current
+// epoch (the scheduler clamps steps to event epochs, so in practice
+// "exactly at"), resolving auto-picked parameters and recording applied
+// events in the admission log so Replay reproduces them. Events that
+// cannot apply (e.g. a kill with only the root left) are consumed
+// silently — skipping changes no state, so replay stays exact without
+// them. Callers hold mu.
+func (s *Shard) applyChaosLocked(now int64) {
+	for s.nextChaos < len(s.chaos) && s.chaos[s.nextChaos].At <= now {
+		ev := s.chaos[s.nextChaos]
+		s.nextChaos++
+		resolved, ok, _ := script.Apply(s.runner, ev)
+		if !ok {
+			continue
+		}
+		e := resolved
+		s.admitted = append(s.admitted, AdmittedQuery{Epoch: now, Event: &e})
+		s.chaosApplied++
+	}
 }
 
 // costLocked reads the shard's cumulative cost counters. Callers hold mu.
@@ -411,6 +475,8 @@ func (s *Shard) Stats() ShardStats {
 	if s.runner.Trace != nil {
 		st.TraceEvents = s.runner.Trace.Total()
 	}
+	st.ChaosApplied = s.chaosApplied
+	st.ChaosPending = len(s.chaos) - s.nextChaos
 	return st
 }
 
@@ -425,15 +491,20 @@ func (s *Shard) Running() bool {
 }
 
 // Replay re-drives a fresh (never-started) shard through a recorded
-// admission log, single-threaded, and returns the responses in admitted
-// order. Determinism makes these identical to the responses the live
-// shard produced for the same seed and log.
+// admission log, single-threaded, and returns the responses to the log's
+// query entries in admitted order (chaos-event entries are re-applied in
+// place and produce no response). Determinism makes these identical to
+// the responses the live shard produced for the same seed and log.
 func (s *Shard) Replay(log []AdmittedQuery) ([]*Response, error) {
 	if !s.claim() {
 		return nil, errors.New("serve: Replay on a shard that already served")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The log supersedes the shard's own chaos timeline: events replay
+	// from their recorded entries, so none of the configured ones are
+	// pending (otherwise Stats would double-count the timeline).
+	s.nextChaos = len(s.chaos)
 	out := make([]*Response, 0, len(log))
 	responseAt := make(map[*inflight]int)
 	var pending []*inflight
@@ -472,9 +543,21 @@ func (s *Shard) Replay(log []AdmittedQuery) ([]*Response, error) {
 		}
 		pending = kept
 
-		// Admit every log entry at this epoch, in order.
+		// Process every log entry at this epoch, in order: queries are
+		// re-admitted, chaos events re-applied (their parameters were
+		// resolved at recording time, so application is exact).
 		for i < len(log) && log[i].Epoch == now {
 			e := log[i]
+			if e.Event != nil {
+				if _, ok, note := script.Apply(s.runner, *e.Event); !ok {
+					return nil, fmt.Errorf("serve: replay entry %d: chaos event %s not applicable: %s",
+						i, e.Event, note)
+				}
+				s.admitted = append(s.admitted, AdmittedQuery{Epoch: now, Event: e.Event})
+				s.chaosApplied++
+				i++
+				continue
+			}
 			f, err := s.injectLocked(Request{Type: e.Type, Lo: e.Lo, Hi: e.Hi})
 			if err != nil {
 				return nil, fmt.Errorf("serve: replay entry %d: %w", i, err)
@@ -486,6 +569,13 @@ func (s *Shard) Replay(log []AdmittedQuery) ([]*Response, error) {
 		}
 		if i < len(log) && log[i].Epoch < now {
 			return nil, fmt.Errorf("serve: replay log not epoch-ordered at entry %d", i)
+		}
+		if i < len(log) && horizon && log[i].Epoch > now {
+			// The clock can no longer reach this entry's epoch; erroring
+			// beats spinning (query entries would hit ErrHorizonReached,
+			// but event entries have no admission path to catch this).
+			return nil, fmt.Errorf("serve: replay entry %d at epoch %d is past the shard horizon %d",
+				i, log[i].Epoch, now)
 		}
 	}
 	return out, nil
