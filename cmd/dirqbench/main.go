@@ -2,12 +2,16 @@
 // results as a machine-readable BENCH_<rev>.json, so the project's
 // performance trajectory is data rather than anecdote.
 //
-// It runs two kinds of benchmarks:
+// It runs three kinds of benchmarks:
 //
 //   - workloads: complete simulation runs (the paper's headline setup under
 //     fixed-δ, ATC and the flooding baseline) and experiment regenerations
 //     (fig6, headline table), reporting throughput as epochs/sec and
 //     simulated node-epochs/sec alongside ns/op and allocs/op;
+//   - scale: the large-N frontier — fixed-δ runs at 50/250/1000/5000 nodes
+//     with epochs shrunk in proportion (constant node-epochs per point),
+//     plus an ungated ("naive") sibling at 1000 nodes whose ratio to the
+//     gated run is the activity-gating speedup;
 //   - substrate micro-benches: event-queue schedule/dispatch, radio
 //     broadcast, one LMAC TDMA frame, range-table observation, and the
 //     amortized cost of one full-stack scenario epoch.
@@ -15,18 +19,24 @@
 // Usage:
 //
 //	dirqbench [-quick] [-n 3] [-bench regexp] [-rev auto] [-out path]
+//	dirqbench -bench 'scale/fixed-1000' -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	dirqbench -check BENCH_x.json   # validate a previously written file
 //	dirqbench -list                 # print benchmark names and exit
 //	dirqbench -compare BENCH_base.json [-tolerance 0.30] [candidate.json]
 //
+// -cpuprofile / -memprofile write pprof profiles covering the selected
+// benchmarks (use -bench to focus on one), so perf work starts from a
+// profile instead of a guess: `go tool pprof cpu.pb.gz`.
+//
 // -compare is the regression gate CI runs against the committed baseline:
 // it loads the baseline, obtains a candidate (the positional file if
 // given, otherwise a fresh measurement at the baseline's own scale), and
-// compares epochs/sec for every workload benchmark present in both at
-// the same nodes/epochs scale. If any regresses by more than -tolerance
-// (fractional, default 0.30) — or nothing is comparable — the exit
-// status is nonzero. Substrate micro-benches are reported for context
-// but do not gate: they are too fast to be stable across CI hardware.
+// compares epochs/sec for every workload and scale benchmark present in
+// both at the same nodes/epochs scale. If any regresses by more than
+// -tolerance (fractional, default 0.30) — or nothing is comparable — the
+// exit status is nonzero. Substrate micro-benches are reported for
+// context but do not gate: they are too fast to be stable across CI
+// hardware.
 //
 // Each benchmark executes -n times through testing.Benchmark; the fastest
 // run is reported, with its own allocation stats (ns/op, bytes/op and
@@ -49,6 +59,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -84,7 +95,7 @@ type File struct {
 // a network over time.
 type Entry struct {
 	Name        string  `json:"name"`
-	Group       string  `json:"group"` // "workload" or "micro"
+	Group       string  `json:"group"` // "workload", "scale" or "micro"
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -114,6 +125,30 @@ func scale(quick bool) (nodes int, epochs int64) {
 	return 50, 20000
 }
 
+// scalePoints are the large-N workload sizes: epochs shrink in proportion
+// so every point simulates the same number of node-epochs (1M full scale,
+// 150k quick) and the column stays comparable.
+var scalePoints = []struct {
+	nodes        int
+	epochs       int64
+	quickEpochs  int64
+	includeNaive bool
+}{
+	{nodes: 50, epochs: 20000, quickEpochs: 3000},
+	{nodes: 250, epochs: 4000, quickEpochs: 600},
+	{nodes: 1000, epochs: 1000, quickEpochs: 150, includeNaive: true},
+	{nodes: 5000, epochs: 200, quickEpochs: 30},
+}
+
+// scaleScenario builds one large-N workload config: constant node density
+// (scenario.ScaleDefault), fixed-δ mode, the paper's query cadence.
+func scaleScenario(nodes int, epochs int64, naive bool) scenario.Config {
+	cfg := scenario.ScaleDefault(nodes)
+	cfg.Epochs = epochs
+	cfg.DisableActivityGating = naive
+	return cfg
+}
+
 // scenarioCfg builds the workload scenario at the requested scale.
 func scenarioCfg(quick bool, mode scenario.ThresholdMode) scenario.Config {
 	cfg := scenario.Default()
@@ -137,7 +172,42 @@ func specs(quick bool) []spec {
 		}
 	}
 
-	return []spec{
+	runScale := func(b *testing.B, cfg scenario.Config) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var scaleSpecs []spec
+	for _, sp := range scalePoints {
+		ep := sp.epochs
+		if quick {
+			ep = sp.quickEpochs
+		}
+		cfg := scaleScenario(sp.nodes, ep, false)
+		scaleSpecs = append(scaleSpecs, spec{
+			// At full scale the 50-node point equals headline/fixed; it is
+			// measured again deliberately so the scale column is a single
+			// self-contained family (and at -quick the two differ).
+			name: fmt.Sprintf("scale/fixed-%d", sp.nodes), group: "scale",
+			nodes: sp.nodes, epochs: ep,
+			fn: func(b *testing.B) { runScale(b, cfg) },
+		})
+		if sp.includeNaive {
+			ncfg := scaleScenario(sp.nodes, ep, true)
+			scaleSpecs = append(scaleSpecs, spec{
+				// The ungated build at the same scale: the ratio to its
+				// gated sibling is the activity-gating speedup the
+				// acceptance gate tracks.
+				name: fmt.Sprintf("scale/naive-%d", sp.nodes), group: "scale",
+				nodes: sp.nodes, epochs: ep,
+				fn: func(b *testing.B) { runScale(b, ncfg) },
+			})
+		}
+	}
+
+	return append([]spec{
 		{name: "headline/fixed", group: "workload", nodes: nodes, epochs: epochs,
 			fn: func(b *testing.B) { runScenario(b, scenario.FixedDelta, false) }},
 		{name: "headline/atc", group: "workload", nodes: nodes, epochs: epochs,
@@ -230,7 +300,7 @@ func specs(quick bool) []spec {
 					rt.ObserveReading(vals[i&1023], 1.5)
 				}
 			}},
-	}
+	}, scaleSpecs...)
 }
 
 // measure runs one spec n times and keeps the fastest run.
@@ -292,14 +362,16 @@ func (f *File) Validate() error {
 			return fmt.Errorf("benchmark %d: empty name", i)
 		case seen[b.Name]:
 			return fmt.Errorf("benchmark %d: duplicate name %q", i, b.Name)
-		case b.Group != "workload" && b.Group != "micro":
+		case b.Group != "workload" && b.Group != "micro" && b.Group != "scale":
 			return fmt.Errorf("benchmark %q: unknown group %q", b.Name, b.Group)
 		case b.NsPerOp <= 0:
 			return fmt.Errorf("benchmark %q: ns_per_op %v <= 0", b.Name, b.NsPerOp)
 		case b.AllocsPerOp < 0 || b.BytesPerOp < 0:
 			return fmt.Errorf("benchmark %q: negative allocation stats", b.Name)
-		case b.Group == "workload" && b.Nodes > 0 && b.EpochsPerSec <= 0:
+		case b.Group != "micro" && b.Nodes > 0 && b.EpochsPerSec <= 0:
 			return fmt.Errorf("benchmark %q: missing throughput", b.Name)
+		case b.Group == "scale" && (b.Nodes <= 0 || b.Epochs <= 0):
+			return fmt.Errorf("benchmark %q: scale bench without nodes/epochs", b.Name)
 		}
 		seen[b.Name] = true
 	}
@@ -380,13 +452,21 @@ func compare(basePath, candPath string, tolerance float64, iters int) error {
 
 	fmt.Printf("bench gate: candidate (%s) vs baseline %s (rev %s), tolerance %.0f%%\n",
 		candName, basePath, base.Rev, tolerance*100)
-	compared, regressed := 0, 0
+	compared, regressed, missing := 0, 0, 0
 	for _, b := range base.Benchmarks {
 		c, ok := byName[b.Name]
 		switch {
 		case !ok:
-			fmt.Printf("  %-24s SKIP (not in candidate)\n", b.Name)
-		case b.Group != "workload" || b.EpochsPerSec <= 0:
+			// A gating benchmark that vanished from the candidate is a
+			// failure, not a skip: a renamed or dropped spec must come with
+			// a regenerated baseline, or the gate silently loses coverage.
+			if b.Group == "workload" || b.Group == "scale" {
+				fmt.Printf("  %-24s MISSING from candidate\n", b.Name)
+				missing++
+			} else {
+				fmt.Printf("  %-24s SKIP (not in candidate)\n", b.Name)
+			}
+		case (b.Group != "workload" && b.Group != "scale") || b.EpochsPerSec <= 0:
 			// Micro-benches: context only.
 			fmt.Printf("  %-24s info  %8.0f -> %8.0f ns/op\n", b.Name, b.NsPerOp, c.NsPerOp)
 		case c.Nodes != b.Nodes || c.Epochs != b.Epochs:
@@ -407,13 +487,16 @@ func compare(basePath, candPath string, tolerance float64, iters int) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("no comparable workload benchmarks between candidate and %s — the gate would be vacuous", basePath)
+		return fmt.Errorf("no comparable workload/scale benchmarks between candidate and %s — the gate would be vacuous", basePath)
+	}
+	if missing > 0 {
+		return fmt.Errorf("%d gating benchmarks from %s are missing in the candidate — regenerate and commit the baseline alongside the spec change", missing, basePath)
 	}
 	if regressed > 0 {
-		return fmt.Errorf("%d of %d workload benchmarks regressed more than %.0f%% vs %s",
+		return fmt.Errorf("%d of %d workload/scale benchmarks regressed more than %.0f%% vs %s",
 			regressed, compared, tolerance*100, basePath)
 	}
-	fmt.Printf("gate passed: %d workload benchmarks within %.0f%% of baseline\n", compared, tolerance*100)
+	fmt.Printf("gate passed: %d workload/scale benchmarks within %.0f%% of baseline\n", compared, tolerance*100)
 	return nil
 }
 
@@ -427,6 +510,8 @@ func main() {
 	rev := flag.String("rev", "auto", "revision tag for the output file (auto = git short hash)")
 	out := flag.String("out", "", "output path (default BENCH_<rev>.json)")
 	checkPath := flag.String("check", "", "validate an existing bench file and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected benchmarks (combine with -bench to focus on one)")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected benchmarks")
 	comparePath := flag.String("compare", "", "baseline bench file: gate a candidate (positional arg, or a fresh run) against it")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional epochs/sec regression for -compare")
 	list := flag.Bool("list", false, "list benchmark names and exit")
@@ -478,6 +563,18 @@ func main() {
 	if *rev == "auto" {
 		*rev = detectRev()
 	}
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+		cpuFile = pf
+	}
+
 	f := File{
 		Schema:     SchemaID,
 		Rev:        *rev,
@@ -491,6 +588,28 @@ func main() {
 	}
 
 	f.Benchmarks = measureAll(all, *iters)
+
+	// Flush the profiles before any of the exit paths below can fire:
+	// log.Fatal calls os.Exit, which would skip deferred cleanup and leave
+	// a truncated, unusable CPU profile after a fully-measured run.
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		if mf, err := os.Create(*memprofile); err != nil {
+			log.Printf("heap profile: %v", err)
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				log.Printf("heap profile: %v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memprofile)
+			}
+			mf.Close()
+		}
+	}
 
 	if err := f.Validate(); err != nil {
 		log.Fatalf("refusing to write invalid output: %v", err)

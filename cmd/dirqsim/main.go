@@ -5,7 +5,13 @@
 //
 //	dirqsim [-nodes 50] [-epochs 20000] [-coverage 0.4] [-mode fixed|atc]
 //	        [-delta 5] [-rho 0.4] [-seed 1] [-hetero] [-loss 0] [-v] [-json]
-//	        [-script file.json]
+//	        [-script file.json] [-area 0] [-depth 0] [-naive]
+//
+// Above 50 nodes the deployment area and tree depth cap auto-scale to
+// keep the paper's node density (-area / -depth override), so
+// `dirqsim -nodes 1000` runs a realistic thousand-node field out of the
+// box. -naive disables the activity-gated epoch engine — outputs are
+// byte-identical, only slower; it exists for timing comparisons.
 //
 // -json replaces the human-readable summary with one machine-readable
 // JSON object (the -csv counterpart on dirqexp).
@@ -72,6 +78,9 @@ func main() {
 	seed := flag.Uint64("seed", cfg.Seed, "random seed")
 	hetero := flag.Bool("hetero", false, "heterogeneous sensor complements")
 	loss := flag.Float64("loss", 0, "packet loss probability")
+	area := flag.Float64("area", 0, "deployment area side length (0 = 100, auto-scaled with -nodes above 50)")
+	depth := flag.Int("depth", 0, "tree depth cap (0 = 10, auto-scaled with -nodes above 50)")
+	naive := flag.Bool("naive", false, "disable activity gating (the pre-gating epoch loop; identical output, for timing comparisons)")
 	interval := flag.Int64("interval", cfg.QueryInterval, "epochs between queries")
 	verbose := flag.Bool("v", false, "print per-bucket update counts")
 	traceN := flag.Int("trace", 0, "print the last N protocol events")
@@ -79,6 +88,17 @@ func main() {
 	scriptPath := flag.String("script", "", "scenario-dynamics script driving the run")
 	flag.Parse()
 
+	// Above the paper's 50 nodes the default area and depth cap auto-scale
+	// to keep node density constant (see scenario.ScaleDefault); explicit
+	// -area / -depth override.
+	cfg = dirq.ScaleScenario(*nodes)
+	if *area > 0 {
+		cfg.Width, cfg.Height = *area, *area
+	}
+	if *depth > 0 {
+		cfg.MaxDepth = *depth
+	}
+	cfg.DisableActivityGating = *naive
 	cfg.NumNodes = *nodes
 	cfg.Epochs = *epochs
 	cfg.Coverage = *coverage

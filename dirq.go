@@ -67,6 +67,12 @@ const (
 	ATC = scenario.ATC
 )
 
+// ScaleScenario returns the §7 setup stretched to larger deployments at
+// constant node density (area side ∝ √nodes, depth cap grown with the
+// diagonal). For nodes <= 50 it matches DefaultScenario with the node
+// count applied.
+func ScaleScenario(nodes int) Scenario { return scenario.ScaleDefault(nodes) }
+
 // DefaultScenario returns the paper's §7 setup: 50 nodes, fan-out cap 8,
 // depth cap 10, 20 000 epochs, one query every 20 epochs, fixed δ = 5 %.
 func DefaultScenario() Scenario { return scenario.Default() }

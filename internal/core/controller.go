@@ -35,6 +35,40 @@ func (f *FixedController) OnEpoch(float64) {}
 // OnUpdateSent is a no-op for a fixed threshold.
 func (f *FixedController) OnUpdateSent() {}
 
+// GatingProfile is an optional Controller capability describing which
+// per-epoch inputs the controller actually consumes. The protocol uses it
+// to gate the epoch hot loop: when a node's controller provably ignores
+// data volatility, quiet (node, type) pairs can skip field evaluation and
+// the hysteresis check entirely without changing a single observable
+// output. Controllers that do not implement the interface are assumed to
+// need everything (the ATC does: its feedforward reads the volatility
+// EWMA, which only stays exact if every reading is observed).
+type GatingProfile interface {
+	// NeedsVolatility reports whether the argument to OnEpoch influences
+	// the controller's outputs.
+	NeedsVolatility() bool
+	// NeedsEpochTick reports whether OnEpoch must still be invoked every
+	// epoch — e.g. to advance an internal clock — even when its argument
+	// is ignored.
+	NeedsEpochTick() bool
+}
+
+var _ GatingProfile = (*FixedController)(nil)
+var _ GatingProfile = (*FreezeController)(nil)
+
+// NeedsVolatility implements GatingProfile: a fixed threshold ignores it.
+func (f *FixedController) NeedsVolatility() bool { return false }
+
+// NeedsEpochTick implements GatingProfile: OnEpoch is a pure no-op.
+func (f *FixedController) NeedsEpochTick() bool { return false }
+
+// NeedsVolatility implements GatingProfile: the freeze schedule ignores it.
+func (f *FreezeController) NeedsVolatility() bool { return false }
+
+// NeedsEpochTick implements GatingProfile: OnEpoch advances the freeze
+// clock, so it must keep firing every epoch.
+func (f *FreezeController) NeedsEpochTick() bool { return true }
+
 // Retunable is an optional Controller capability: live retargeting of the
 // threshold while a run is in progress (scripted scenario dynamics use it
 // to model an operator retuning the deployment). Fixed controllers take

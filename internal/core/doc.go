@@ -10,4 +10,13 @@
 // over the topology tree, and is driven per epoch by scenario. Messages on
 // the hot path are pooled or share one interface box per dissemination
 // wave, so a range-update hop and a query hop do not heap-allocate.
+//
+// The epoch loop is activity-gated (hotstate.go): a conservative per-type
+// sweep over flat per-node state builds the epoch's worklist of nodes
+// whose readings could escape their hysteresis window; everyone else
+// provably produces no observable effect this epoch and is skipped, so
+// per-epoch cost tracks activity, not network size. Controllers advertise
+// via GatingProfile whether they consume volatility; those that do (the
+// ATC) keep the exact ungated path, which is how gated runs stay
+// byte-identical in every mode.
 package core

@@ -196,6 +196,12 @@ func (n *Node) OnReading(t sensordata.Type, v float64) {
 	}
 }
 
+// TickEpoch advances the controller's epoch clock without computing the
+// node's volatility. Valid only when the controller's GatingProfile says
+// the volatility argument is ignored — the activity-gated epoch loop uses
+// it for quiescent nodes whose controller still counts epochs.
+func (n *Node) TickEpoch() { n.ctrl.OnEpoch(0) }
+
 // EndEpoch performs per-epoch bookkeeping: it feeds the controller the
 // node's normalized data volatility.
 func (n *Node) EndEpoch() {

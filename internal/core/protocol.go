@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/lmac"
@@ -49,6 +50,11 @@ type Config struct {
 	Trace func(TraceEvent)
 	// PredictorAlpha smooths the root's hourly query-count forecast.
 	PredictorAlpha float64
+	// DisableGating forces the pre-gating epoch loop: every live node
+	// evaluates every mounted sensor every epoch, regardless of controller
+	// capabilities. The gated loop is proven equivalent, so this exists
+	// only as the "naive" reference for tests and scale benchmarks.
+	DisableGating bool
 }
 
 // DefaultConfig returns the paper-default parameters: 100 epochs per hour,
@@ -100,6 +106,9 @@ type Protocol struct {
 	// updPool recycles Update Message boxes across all nodes: sender takes,
 	// single unicast receiver returns.
 	updPool updateMsgPool
+
+	// hot is the flat per-node state driving the activity-gated epoch loop.
+	hot hotState
 }
 
 // New wires a Protocol over an existing engine, MAC, tree and dataset.
@@ -145,6 +154,16 @@ func New(engine *sim.Engine, mac *lmac.MAC, channel *radio.Channel,
 		if par, ok := tree.Parent(id); ok {
 			p.nodes[id].SetParent(par, true)
 			p.nodes[par].AddChild(id)
+		}
+	}
+	// Hot-state wiring: gate capabilities, sweep windows, participation.
+	p.hot.init(len(p.nodes), cfg.DisableGating)
+	for i := range p.nodes {
+		p.configureNode(i)
+		if tree.Contains(topology.NodeID(i)) {
+			p.hot.deployed[i] = true
+		} else {
+			p.hot.parkNode(i)
 		}
 	}
 	// MAC wiring: deliveries and cross-layer notifications.
@@ -196,31 +215,108 @@ func (p *Protocol) QuerySource(id topology.NodeID, queryID int64) {
 	}
 }
 
-// Start schedules the per-epoch application loop (sensor acquisition and
-// hourly estimates) on the engine. Call once, before running the engine;
-// the MAC must be started separately.
+// Start registers the per-epoch application loop (sensor acquisition and
+// hourly estimates) as an engine ticker, so the epoch drive costs no event-
+// queue traffic. Call once, before running the engine; the MAC must be
+// started separately.
 func (p *Protocol) Start() {
 	if p.started {
 		panic("core: Protocol.Start called twice")
 	}
 	p.started = true
-	var tick func()
-	tick = func() {
-		p.RunEpoch()
-		p.engine.SchedulePrio(p.engine.Now()+1, lmac.PrioApp, tick)
-	}
-	p.engine.SchedulePrio(p.engine.Now(), lmac.PrioApp, tick)
+	p.engine.AddTicker(lmac.PrioApp, p.RunEpoch)
 }
 
 // RunEpoch performs one epoch of application work: every live node samples
 // each of its mounted sensor types ("Each sensor acquires a reading every
 // time unit", §7) and, on hour boundaries, the root emits its estimate.
 // The data generator must have been advanced (or be at) the current epoch.
+//
+// The loop is activity-gated: a conservative per-type sweep (see
+// sensordata.ActiveSweep) builds the epoch's worklist of nodes whose
+// readings could possibly escape their hysteresis window; everyone else is
+// provably unobservable this epoch — no field evaluation, no hysteresis
+// check, no update decision — so per-epoch cost tracks activity rather
+// than network size. Nodes whose controller consumes real volatility (the
+// ATC), runs under a sample gate, or has no own tuple yet ride permanent
+// always-active windows and take the exact classic path, which keeps every
+// mode's outputs byte-identical to the ungated loop.
 func (p *Protocol) RunEpoch() {
 	now := p.engine.Now()
 	if now > 0 {
 		p.gen.Step()
 	}
+	h := &p.hot
+	if h.disabled {
+		// The honest naive reference: the classic full sweep, with no
+		// worklist bookkeeping at all, so -naive timing comparisons measure
+		// the true pre-gating loop.
+		p.runEpochNaive()
+		if p.cfg.EpochsPerHour > 0 && now%sim.Time(p.cfg.EpochsPerHour) == 0 && now > 0 {
+			p.emitEstimate()
+		}
+		return
+	}
+
+	// Build the worklist, node-major ascending so processing order — and
+	// with it trace order and each node's MAC queue content — matches the
+	// classic full sweep exactly.
+	gen := int64(now) + 1
+	active := h.active[:0]
+	for _, t := range sensordata.AllTypes() {
+		h.scratch = p.gen.ActiveSweep(t, h.lo[t], h.hi[t], h.scratch[:0])
+		for _, i := range h.scratch {
+			if h.stamp[i] != gen {
+				h.stamp[i] = gen
+				h.mask[i] = 0
+				active = append(active, i)
+			}
+			h.mask[i] |= 1 << uint(t)
+		}
+	}
+	h.active = active
+	slices.Sort(active)
+
+	for _, ai := range active {
+		i := int(ai)
+		id := topology.NodeID(i)
+		if !p.channel.Alive(id) || !h.deployed[i] {
+			continue
+		}
+		node := p.nodes[i]
+		if h.gate[i] {
+			mask := h.mask[i]
+			for _, t := range node.Mounted().Types() {
+				if mask&(1<<uint(t)) == 0 {
+					continue
+				}
+				node.OnReading(t, p.gen.Value(id, t))
+				p.refreshWindow(i, t)
+			}
+			continue // controller tick, if any, happens via tickList below
+		}
+		p.sampleNodeClassic(i) // ungated node: the classic per-node step
+	}
+
+	// Epoch clocks of gated controllers that still count epochs (the
+	// static-index freeze schedule) keep ticking even on quiet epochs.
+	for _, ti := range h.tickList {
+		i := int(ti)
+		id := topology.NodeID(i)
+		if !p.channel.Alive(id) || !h.deployed[i] {
+			continue
+		}
+		p.nodes[i].TickEpoch()
+	}
+
+	if p.cfg.EpochsPerHour > 0 && now%sim.Time(p.cfg.EpochsPerHour) == 0 && now > 0 {
+		p.emitEstimate()
+	}
+}
+
+// runEpochNaive is the pre-gating epoch body: every live deployed node
+// samples every mounted type, every epoch, with no worklist bookkeeping.
+func (p *Protocol) runEpochNaive() {
 	for i := range p.nodes {
 		id := topology.NodeID(i)
 		if !p.channel.Alive(id) {
@@ -229,29 +325,35 @@ func (p *Protocol) RunEpoch() {
 		if !p.tree.Contains(id) && !p.orphaned[id] {
 			continue // not yet deployed
 		}
-		node := p.nodes[i]
-		for _, t := range node.Mounted().Types() {
-			if p.cfg.Sampler != nil {
-				var own Tuple
-				hasOwn := false
-				if rt := node.Table(t); rt != nil {
-					own, hasOwn = rt.Own()
-				}
-				if !p.cfg.Sampler.ShouldSample(id, t, own, hasOwn) {
-					continue
-				}
-				v := p.gen.Value(id, t)
-				p.cfg.Sampler.OnSample(id, t, v)
-				node.OnReading(t, v)
+		p.sampleNodeClassic(i)
+	}
+}
+
+// sampleNodeClassic is one node's classic epoch step — every mounted type
+// read (through the optional sample gate), then the controller fed the
+// node's volatility. Used for ungated nodes in the gated loop and for the
+// whole network in the naive reference loop.
+func (p *Protocol) sampleNodeClassic(i int) {
+	id := topology.NodeID(i)
+	node := p.nodes[i]
+	for _, t := range node.Mounted().Types() {
+		if p.cfg.Sampler != nil {
+			var own Tuple
+			hasOwn := false
+			if rt := node.Table(t); rt != nil {
+				own, hasOwn = rt.Own()
+			}
+			if !p.cfg.Sampler.ShouldSample(id, t, own, hasOwn) {
 				continue
 			}
-			node.OnReading(t, p.gen.Value(id, t))
+			v := p.gen.Value(id, t)
+			p.cfg.Sampler.OnSample(id, t, v)
+			node.OnReading(t, v)
+			continue
 		}
-		node.EndEpoch()
+		node.OnReading(t, p.gen.Value(id, t))
 	}
-	if p.cfg.EpochsPerHour > 0 && now%sim.Time(p.cfg.EpochsPerHour) == 0 && now > 0 {
-		p.emitEstimate()
-	}
+	node.EndEpoch()
 }
 
 // emitEstimate closes the root's accounting hour and multicasts the next
@@ -313,9 +415,12 @@ func (p *Protocol) onNeighborDead(at, dead topology.NodeID) {
 	}
 	if !p.tree.Contains(dead) {
 		p.deadSeen[dead] = true
+		p.hot.parkNode(int(dead)) // dead orphan: out of the epoch loop
 		return
 	}
 	p.deadSeen[dead] = true
+	p.hot.parkNode(int(dead))
+	p.hot.deployed[dead] = false
 
 	par2 := topology.NodeID(-1)
 	if par, ok := p.tree.Parent(dead); ok {
@@ -358,6 +463,8 @@ func (p *Protocol) JoinNode(id topology.NodeID, mounted sensordata.TypeSet) erro
 	p.mac.Join(id)
 	delete(p.deadSeen, id)
 	p.orphaned[id] = true
+	p.configureNode(int(id))
+	p.hot.deployed[id] = true
 	p.reattachOrphans()
 	if p.orphaned[id] {
 		return fmt.Errorf("core: node %d has no eligible live neighbor to attach to", id)

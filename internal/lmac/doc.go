@@ -15,4 +15,12 @@
 // one RunFrame per epoch delivers them. The frame loop reuses its slot
 // order, queue buffers and multicast address lists, so steady-state
 // traffic does not allocate.
+//
+// Frames are quiescence-gated: while membership is steady, a frame visits
+// only nodes with queued traffic (in the same slot order as the full
+// sweep) and a silent frame short-circuits to a counter increment, with
+// beacon bookkeeping virtualized and re-materialized on demand. Any kill,
+// join or power flip opens a window of full frames long enough for the
+// original beacon-miss detection to run unchanged, so cross-layer death
+// and join notifications fire at exactly the epochs they always did.
 package lmac

@@ -61,12 +61,32 @@ type MAC struct {
 	// at construction, so the frame iteration order is static; RunFrame
 	// skips unregistered/dead nodes while iterating.
 	order []topology.NodeID
+	// orderPos inverts order: the frame position owned by each node.
+	orderPos []int32
 	// targetFree pools multicast address lists: Multicast copies the
 	// caller's targets into a pooled slice, and the flush returns it after
 	// transmission.
 	targetFree [][]topology.NodeID
 	// deadScratch is reused by the per-frame liveness sweep.
 	deadScratch []topology.NodeID
+
+	// Quiescent-frame machinery. While the membership is steady (no kill,
+	// join or power flip in flight) a frame only needs to visit nodes with
+	// queued traffic: beacons carry no payload and their only effect —
+	// advancing every live pair's last-heard stamp — is virtualized and
+	// re-materialized on demand. Membership changes open a "turbulence"
+	// window of full frames long enough for every death to be detected
+	// through the original beacon bookkeeping, after which frames go quiet
+	// again. A silent frame (no queued traffic anywhere) short-circuits to
+	// a frame-counter increment.
+	quiesce        bool  // fast path enabled (default true)
+	turbulentUntil int64 // frames below this run the full beacon sweep
+	stale          bool  // lastHeard tables lag behind the frame counter
+	dirtyHeap      []int32
+	dirtyNext      []int32
+	inDirty        []bool
+	inFrame        bool
+	framePos       int32
 
 	receivers []func(from topology.NodeID, msg any)
 	onDead    func(at topology.NodeID, dead topology.NodeID)
@@ -111,12 +131,119 @@ func New(engine *sim.Engine, channel *radio.Channel) (*MAC, error) {
 		}
 		return a.id < b.id
 	})
+	m.orderPos = make([]int32, len(m.nodes))
+	for pos, id := range m.order {
+		m.orderPos[id] = int32(pos)
+	}
+	m.inDirty = make([]bool, len(m.nodes))
+	m.quiesce = true
 	for i := range m.nodes {
 		if channel.Alive(topology.NodeID(i)) {
 			m.register(topology.NodeID(i))
 		}
 	}
+	channel.OnAliveChange(m.onAliveChange)
 	return m, nil
+}
+
+// SetQuiescence toggles the steady-state fast path (on by default).
+// Disabling it forces the full beacon sweep every frame — the pre-gating
+// behaviour, kept as the "naive" reference for equivalence tests and the
+// scale benchmarks.
+func (m *MAC) SetQuiescence(enabled bool) { m.quiesce = enabled }
+
+// onAliveChange is wired to the channel: any power flip first materializes
+// the virtualized liveness stamps (while the old power state is still in
+// force) and then opens a turbulence window of full frames, so deaths are
+// detected — and joins announced — exactly as the original per-frame
+// beacon bookkeeping would have.
+func (m *MAC) onAliveChange(topology.NodeID, bool) {
+	m.materialize()
+	until := m.frame + m.deadThreshold + 2
+	if until > m.turbulentUntil {
+		m.turbulentUntil = until
+	}
+}
+
+// materialize brings every lastHeard table up to date with the quiescent
+// invariant: all mutually live registered neighbors heard each other in
+// the previous frame. A no-op unless quiet frames have run since the last
+// full one.
+func (m *MAC) materialize() {
+	if !m.stale {
+		return
+	}
+	m.stale = false
+	for i := range m.nodes {
+		st := &m.nodes[i]
+		if !st.registered || !m.channel.Alive(st.id) {
+			continue
+		}
+		for _, nb := range m.channel.Graph().Neighbors(st.id) {
+			if m.nodes[nb].registered && m.channel.Alive(nb) {
+				st.lastHeard[nb] = m.frame - 1
+			}
+		}
+	}
+}
+
+// markDirty records that a node has traffic queued for its next slot.
+func (m *MAC) markDirty(id topology.NodeID) {
+	if m.inDirty[id] {
+		return
+	}
+	m.inDirty[id] = true
+	pos := m.orderPos[id]
+	if m.inFrame && pos > m.framePos {
+		m.dirtyPush(pos)
+	} else {
+		m.dirtyNext = append(m.dirtyNext, pos)
+	}
+}
+
+// dirtyPush adds a frame position to the current frame's min-heap.
+func (m *MAC) dirtyPush(pos int32) {
+	h := append(m.dirtyHeap, pos)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= pos {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = pos
+	m.dirtyHeap = h
+}
+
+// dirtyPop removes and returns the smallest queued frame position.
+func (m *MAC) dirtyPop() int32 {
+	h := m.dirtyHeap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	m.dirtyHeap = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h[c+1] < h[c] {
+			c++
+		}
+		if h[c] >= last {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	if n > 0 {
+		h[i] = last
+	}
+	return top
 }
 
 // getTargets returns a pooled slice holding a copy of targets.
@@ -184,6 +311,7 @@ func (m *MAC) OnNeighborNew(fn func(at, fresh topology.NodeID)) { m.onNew = fn }
 
 // Neighbors returns the sorted live-neighbor view of a node's MAC table.
 func (m *MAC) Neighbors(id topology.NodeID) []topology.NodeID {
+	m.materialize()
 	st := &m.nodes[id]
 	out := make([]topology.NodeID, 0, len(st.lastHeard))
 	for nb := range st.lastHeard {
@@ -198,6 +326,7 @@ func (m *MAC) Neighbors(id topology.NodeID) []topology.NodeID {
 func (m *MAC) Unicast(from, to topology.NodeID, class radio.Class, msg any) {
 	st := &m.nodes[from]
 	st.queue = append(st.queue, queuedMsg{to: to, class: class, msg: msg})
+	m.markDirty(from)
 }
 
 // Broadcast queues a data message for transmission to all radio neighbors
@@ -205,6 +334,7 @@ func (m *MAC) Unicast(from, to topology.NodeID, class radio.Class, msg any) {
 func (m *MAC) Broadcast(from topology.NodeID, class radio.Class, msg any) {
 	st := &m.nodes[from]
 	st.queue = append(st.queue, queuedMsg{to: -1, broadcast: true, class: class, msg: msg})
+	m.markDirty(from)
 }
 
 // Multicast queues a data message addressed to a specific set of radio
@@ -218,30 +348,97 @@ func (m *MAC) Multicast(from topology.NodeID, targets []topology.NodeID, class r
 		to: -1, targets: m.getTargets(targets),
 		class: class, msg: msg,
 	})
+	m.markDirty(from)
 }
 
 // QueueLen reports the number of messages pending at a node.
 func (m *MAC) QueueLen(id topology.NodeID) int { return len(m.nodes[id].queue) }
 
-// Start schedules frame processing at every tick beginning at the engine's
-// current time. Call once.
+// Start registers frame processing as an engine ticker firing at every
+// tick from the engine's current time on. Call once.
 func (m *MAC) Start() {
 	if m.started {
 		panic("lmac: Start called twice")
 	}
 	m.started = true
-	var tick func()
-	tick = func() {
-		m.RunFrame()
-		m.engine.SchedulePrio(m.engine.Now()+1, PrioMAC, tick)
-	}
-	m.engine.SchedulePrio(m.engine.Now(), PrioMAC, tick)
+	m.engine.AddTicker(PrioMAC, m.RunFrame)
 }
 
-// RunFrame executes one complete TDMA frame: every registered live node, in
-// slot order, beacons and flushes its queue; afterwards liveness tables are
-// updated and death/new-neighbor notifications fire.
+// RunFrame executes one complete TDMA frame. While membership is turbulent
+// (a kill, join or power flip within the last dead-threshold frames) every
+// registered live node, in slot order, beacons and flushes its queue, then
+// liveness tables are swept and death/new-neighbor notifications fire.
+// Otherwise only nodes with queued traffic are visited — beacons are
+// virtual and a silent frame short-circuits entirely.
 func (m *MAC) RunFrame() {
+	if m.quiesce && m.frame >= m.turbulentUntil {
+		m.runQuietFrame()
+		return
+	}
+	m.runFullFrame()
+}
+
+// flush transmits a node's queue as it stood at the start of its slot;
+// messages enqueued by the node's own deliveries wait for the next slot
+// (they land in the swapped-in spare buffer).
+func (m *MAC) flush(id topology.NodeID, st *nodeState) {
+	pending := st.queue
+	st.queue = st.spare[:0]
+	for _, qm := range pending {
+		switch {
+		case qm.broadcast:
+			m.channel.Broadcast(id, qm.class, qm.msg)
+		case qm.targets != nil:
+			m.channel.Multicast(id, qm.targets, qm.class, qm.msg)
+		default:
+			m.channel.Unicast(id, qm.to, qm.class, qm.msg)
+		}
+	}
+	// Recycle: address lists go back to the pool, message references
+	// are dropped, and the flushed buffer becomes next frame's spare.
+	for i := range pending {
+		if pending[i].targets != nil {
+			m.putTargets(pending[i].targets)
+		}
+		pending[i] = queuedMsg{}
+	}
+	st.spare = pending[:0]
+}
+
+// runQuietFrame is the steady-membership frame: visit only dirty nodes, in
+// the same (slot, id) order the full frame walks, and skip the beacon and
+// liveness machinery altogether.
+func (m *MAC) runQuietFrame() {
+	if len(m.dirtyNext) > 0 {
+		for _, pos := range m.dirtyNext {
+			m.dirtyPush(pos)
+		}
+		m.dirtyNext = m.dirtyNext[:0]
+	}
+	if len(m.dirtyHeap) > 0 {
+		m.inFrame = true
+		m.framePos = -1
+		for len(m.dirtyHeap) > 0 {
+			pos := m.dirtyPop()
+			m.framePos = pos
+			id := m.order[pos]
+			m.inDirty[id] = false
+			st := &m.nodes[id]
+			if !st.registered || !m.channel.Alive(id) || len(st.queue) == 0 {
+				continue // stale entry: killed, or already flushed by a full frame
+			}
+			m.flush(id, st)
+		}
+		m.inFrame = false
+	}
+	m.stale = true
+	m.frame++
+}
+
+// runFullFrame is the original frame: beacon sweep, queue flush, liveness
+// sweep. It runs during turbulence windows and when quiescence is disabled.
+func (m *MAC) runFullFrame() {
+	m.materialize()
 	// Slot order is static (slots are assigned once), so the frame walks
 	// the precomputed (slot, id) order and filters liveness inline.
 	for _, id := range m.order {
@@ -262,30 +459,9 @@ func (m *MAC) RunFrame() {
 				nbSt.lastHeard[id] = m.frame
 			}
 		}
-		// Flush the data queue as it stood at the start of our slot;
-		// messages enqueued by our own deliveries wait for the next slot
-		// (they land in the swapped-in spare buffer).
-		pending := st.queue
-		st.queue = st.spare[:0]
-		for _, qm := range pending {
-			switch {
-			case qm.broadcast:
-				m.channel.Broadcast(id, qm.class, qm.msg)
-			case qm.targets != nil:
-				m.channel.Multicast(id, qm.targets, qm.class, qm.msg)
-			default:
-				m.channel.Unicast(id, qm.to, qm.class, qm.msg)
-			}
+		if len(st.queue) > 0 {
+			m.flush(id, st)
 		}
-		// Recycle: address lists go back to the pool, message references
-		// are dropped, and the flushed buffer becomes next frame's spare.
-		for i := range pending {
-			if pending[i].targets != nil {
-				m.putTargets(pending[i].targets)
-			}
-			pending[i] = queuedMsg{}
-		}
-		st.spare = pending[:0]
 	}
 
 	// Post-frame liveness sweep.
@@ -343,6 +519,10 @@ func (m *MAC) Kill(id topology.NodeID) {
 // OnNeighborNew when they first hear its beacon.
 func (m *MAC) Join(id topology.NodeID) {
 	m.channel.SetAlive(id, true)
+	// Announce even when the power flag did not flip (a node that was
+	// powered but never registered): the join must still leave the quiet
+	// path so neighbors hear the first beacon.
+	m.onAliveChange(id, true)
 	m.register(id)
 	m.installListener(id)
 }

@@ -119,12 +119,13 @@ type Receiver func(from topology.NodeID, msg any)
 // Delivery is synchronous (the MAC layer above decides *when* to transmit;
 // the channel only decides *who hears it* and accounts costs).
 type Channel struct {
-	graph     *topology.Graph
-	meter     *Meter
-	receivers []Receiver
-	alive     []bool
-	lossProb  float64
-	lossRNG   *sim.RNG
+	graph       *topology.Graph
+	meter       *Meter
+	receivers   []Receiver
+	alive       []bool
+	lossProb    float64
+	lossRNG     *sim.RNG
+	aliveChange func(id topology.NodeID, alive bool)
 }
 
 // NewChannel creates a loss-free channel over g.
@@ -159,7 +160,19 @@ func (ch *Channel) Listen(id topology.NodeID, r Receiver) {
 // SetAlive marks a node as powered (true) or dead (false). Dead nodes
 // neither transmit nor receive.
 func (ch *Channel) SetAlive(id topology.NodeID, alive bool) {
+	if ch.alive[id] != alive && ch.aliveChange != nil {
+		// Notify before mutating: the MAC snapshots its virtualized
+		// liveness bookkeeping against the pre-change power state.
+		ch.aliveChange(id, alive)
+	}
 	ch.alive[id] = alive
+}
+
+// OnAliveChange registers a hook invoked whenever a node's power state is
+// about to flip (the flag still holds the old value during the call). The
+// MAC uses it to leave its quiescent fast path around membership changes.
+func (ch *Channel) OnAliveChange(fn func(id topology.NodeID, alive bool)) {
+	ch.aliveChange = fn
 }
 
 // Alive reports whether the node is powered.

@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// gatedVsNaive runs the same configuration with activity gating on and
+// off and requires byte-identical Results. The gate skips work only when
+// the skipped work is provably unobservable, so any divergence — however
+// small — is a bug in the quiescence proof, not tolerable noise.
+func gatedVsNaive(t *testing.T, cfg Config) {
+	t.Helper()
+	gated, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableActivityGating = true
+	naive, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The knob itself is part of Config (inside Result); blank it so the
+	// comparison covers everything else.
+	naive.Config.DisableActivityGating = false
+	g, err := json.Marshal(gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := json.Marshal(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g) != string(n) {
+		t.Fatalf("gated run diverged from naive run\ngated: %.300s\nnaive: %.300s", g, n)
+	}
+}
+
+// TestGatedNaiveEquivalencePaperScale pins gated == naive at the paper's
+// 50-node scale for every threshold mode, including the flooding baseline
+// and a node-death (energy) run.
+func TestGatedNaiveEquivalencePaperScale(t *testing.T) {
+	base := Default()
+	base.Epochs = 1200
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"fixed", func(c *Config) {}},
+		{"atc", func(c *Config) { c.Mode = ATC }},
+		{"static", func(c *Config) { c.Mode = StaticIndex }},
+		{"flood", func(c *Config) { c.DisseminateByFlooding = true }},
+		{"hetero-loss", func(c *Config) { c.Heterogeneous = true; c.PacketLoss = 0.05 }},
+		{"energy-deaths", func(c *Config) { c.EnergyCapacity = 1500 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			gatedVsNaive(t, cfg)
+		})
+	}
+}
+
+// TestGatedNaiveEquivalenceLargeN is the scale-frontier guard: at 1000
+// nodes the gated loop must still reproduce the naive loop bit for bit.
+func TestGatedNaiveEquivalenceLargeN(t *testing.T) {
+	cfg := ScaleDefault(1000)
+	cfg.Epochs = 250
+	gatedVsNaive(t, cfg)
+}
+
+// TestScaleDefaultBuilds checks the stretched configurations actually
+// deploy (connected placement, depth cap adequate) across the bench sizes.
+func TestScaleDefaultBuilds(t *testing.T) {
+	for _, n := range []int{50, 250, 1000} {
+		cfg := ScaleDefault(n)
+		cfg.Epochs = 1
+		r, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("ScaleDefault(%d): %v", n, err)
+		}
+		if r.Tree.Len() != n {
+			t.Fatalf("ScaleDefault(%d): tree holds %d nodes", n, r.Tree.Len())
+		}
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/atc"
 	"repro/internal/core"
@@ -99,6 +100,14 @@ type Config struct {
 	// could not have changed the range table.
 	PredictiveSampling bool
 
+	// DisableActivityGating forces the naive epoch loop: every node
+	// evaluates every mounted sensor every epoch and the MAC walks every
+	// frame in full. Gated and naive runs are byte-identical by
+	// construction (guarded by gated_test.go); the knob exists so the
+	// equivalence is testable and so the scale benchmarks can record the
+	// ungated cost for comparison.
+	DisableActivityGating bool
+
 	// EnergyCapacity, when positive, attaches a battery of that many units
 	// to every non-root node (energy.DefaultModel proportions). Nodes that
 	// deplete are powered off through the cross-layer path, and the Result
@@ -164,6 +173,22 @@ func (c Config) intervalAt(epoch int64) int64 {
 		}
 	}
 	return c.QueryInterval
+}
+
+// ScaleDefault returns the paper's configuration stretched to nodes-sized
+// deployments at constant node density: the area grows linearly with the
+// node count (side ∝ √N, keeping the paper's ~25-unit radio range
+// meaningful) and the tree depth cap grows with the area diagonal. For
+// nodes <= 50 it is exactly Default with the node count applied.
+func ScaleDefault(nodes int) Config {
+	cfg := Default()
+	cfg.NumNodes = nodes
+	if nodes > 50 {
+		side := 100 * math.Sqrt(float64(nodes)/50)
+		cfg.Width, cfg.Height = side, side
+		cfg.MaxDepth = int(2*side/cfg.RadioRange) + 10
+	}
+	return cfg
 }
 
 // Default returns the paper's §7 configuration with the given threshold
@@ -368,6 +393,9 @@ func BuildWithEngine(cfg Config, engine *sim.Engine) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.DisableActivityGating {
+		mac.SetQuiescence(false)
+	}
 
 	pos := make([]topology.Position, g.Len())
 	for i := range pos {
@@ -386,6 +414,7 @@ func BuildWithEngine(cfg Config, engine *sim.Engine) (*Runner, error) {
 		EpochsPerHour: cfg.EpochsPerHour,
 		MaxFanout:     cfg.MaxFanout,
 		MaxDepth:      cfg.MaxDepth,
+		DisableGating: cfg.DisableActivityGating,
 	}
 	var gate *sampling.Gate
 	if cfg.PredictiveSampling {

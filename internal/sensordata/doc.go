@@ -13,4 +13,12 @@
 // In the repo's layer map this is the environment layer: core samples the
 // generator every epoch (§7 "each sensor acquires a reading every time
 // unit") and query resolves ground truth against the same field.
+//
+// Field evaluation is lazy and activity-gated: Step advances only the
+// field state (drawing exactly the RNG sequence it always drew, so runs
+// stay bit-reproducible) while the exp-heavy per-node evaluation happens
+// on first read. ActiveSweep conservatively refutes hysteresis escapes in
+// O(1) per (node, type) — exact diurnal/noise/bias terms plus an
+// accumulated bound on plume motion — so a quiescent network's epoch cost
+// is a handful of flops per node instead of a field evaluation.
 package sensordata

@@ -131,15 +131,50 @@ type typeField struct {
 	rng    *sim.RNG
 	width  float64
 	height float64
+
+	// Lazy-evaluation state: the diurnal term cached per epoch, and the
+	// running sum of conservative per-epoch bounds on how much the plume
+	// component of *any* node's value can have moved (see Step).
+	dayEpoch int64 // epoch dayVal is valid for; -1 = stale
+	dayVal   float64
+	cumBound float64
+}
+
+// day returns the type's diurnal term for the given epoch, cached so the
+// per-node paths pay one sin per type per epoch at most.
+func (f *typeField) day(epoch int64) float64 {
+	if f.dayEpoch != epoch {
+		f.dayEpoch = epoch
+		f.dayVal = 0
+		if f.params.PeriodEpoch > 0 {
+			f.dayVal = f.params.DiurnalAmp *
+				math.Sin(2*math.Pi*float64(epoch)/float64(f.params.PeriodEpoch)+f.phase)
+		}
+	}
+	return f.dayVal
 }
 
 // Generator produces the dataset epoch by epoch. It is deterministic given
 // its seed stream and must be advanced strictly sequentially with Step.
+//
+// Values are evaluated lazily: Step advances the field *state* (plume
+// positions, per-node AR(1) noise — consuming exactly the same RNG draws
+// as always, so determinism is untouched) while the expensive per-node
+// field evaluation happens only when a value is actually read. Together
+// with ActiveSweep this makes a quiescent network's per-epoch cost
+// independent of the plume math: nodes whose reading provably cannot have
+// left their hysteresis window are never evaluated at all.
 type Generator struct {
 	positions []topology.Position
 	fields    [NumTypes]*typeField
 	epoch     int64
-	values    [][NumTypes]float64 // current value per node per type
+	values    [][NumTypes]float64 // last evaluated value per node per type
+
+	// Per (type, node) lazy-evaluation records, indexed t*N + i.
+	stamp     []int64   // epoch values[i][t] was evaluated at
+	snapPlume []float64 // plume-sum component recorded at that evaluation
+	snapCum   []float64 // cumBound at that evaluation; -Inf = no usable snapshot
+	evals     uint64    // total per-(node, type) field evaluations
 }
 
 // NewGenerator builds a generator for the given node positions. The area
@@ -164,17 +199,25 @@ func NewGenerator(positions []topology.Position, rng *sim.RNG) *Generator {
 	g := &Generator{
 		positions: append([]topology.Position(nil), positions...),
 		values:    make([][NumTypes]float64, len(positions)),
+		stamp:     make([]int64, len(positions)*int(NumTypes)),
+		snapPlume: make([]float64, len(positions)*int(NumTypes)),
+		snapCum:   make([]float64, len(positions)*int(NumTypes)),
+	}
+	for i := range g.stamp {
+		g.stamp[i] = -1
+		g.snapCum[i] = math.Inf(-1) // no snapshot yet: nothing provable
 	}
 	for _, t := range AllTypes() {
 		p := DefaultParams(t)
 		f := &typeField{
-			params: p,
-			phase:  rng.StreamN("phase", int(t)).Float64() * 2 * math.Pi,
-			noise:  make([]float64, len(positions)),
-			bias:   make([]float64, len(positions)),
-			rng:    rng.StreamN("field", int(t)),
-			width:  w,
-			height: h,
+			params:   p,
+			phase:    rng.StreamN("phase", int(t)).Float64() * 2 * math.Pi,
+			noise:    make([]float64, len(positions)),
+			bias:     make([]float64, len(positions)),
+			rng:      rng.StreamN("field", int(t)),
+			width:    w,
+			height:   h,
+			dayEpoch: -1,
 		}
 		// The microclimate bias is itself spatially structured: a static
 		// landscape of Gaussian bumps plus a small independent component,
@@ -217,15 +260,28 @@ func NewGenerator(positions []topology.Position, rng *sim.RNG) *Generator {
 	return g
 }
 
-// SetParams overrides the field parameters of one sensor type; values are
-// recomputed immediately. It may be called mid-run — the change applies
-// from the current epoch on and the run stays deterministic as long as the
-// call happens at the same epoch across runs (scripted dynamics rely on
-// this). Changing Plumes mid-run alters the per-epoch RNG consumption from
-// that point, which is still deterministic but shifts every later draw.
+// SetParams overrides the field parameters of one sensor type; values
+// reflect the change from the current epoch on. It may be called mid-run —
+// the run stays deterministic as long as the call happens at the same
+// epoch across runs (scripted dynamics rely on this). Changing Plumes
+// mid-run alters the per-epoch RNG consumption from that point, which is
+// still deterministic but shifts every later draw.
 func (g *Generator) SetParams(t Type, p FieldParams) {
 	g.fields[t].params = p
-	g.compute()
+	g.invalidate()
+}
+
+// invalidate discards every cached evaluation and quiescence snapshot — a
+// field parameter changed, so previously proven bounds no longer hold.
+func (g *Generator) invalidate() {
+	negInf := math.Inf(-1)
+	for k := range g.stamp {
+		g.stamp[k] = -1
+		g.snapCum[k] = negInf
+	}
+	for _, t := range AllTypes() {
+		g.fields[t].dayEpoch = -1
+	}
 }
 
 // Params returns the current field parameters of one sensor type.
@@ -239,7 +295,7 @@ func (g *Generator) Params(t Type) FieldParams {
 // it is deterministic when applied at a fixed epoch.
 func (g *Generator) ShiftBase(t Type, delta float64) {
 	g.fields[t].params.Base += delta
-	g.compute()
+	g.invalidate()
 }
 
 // ScaleDynamics multiplies the temporal volatility of one sensor type —
@@ -251,7 +307,7 @@ func (g *Generator) ScaleDynamics(t Type, factor float64) {
 	p := &g.fields[t].params
 	p.DriftStep *= factor
 	p.NoiseSigma *= factor
-	g.compute()
+	g.invalidate()
 }
 
 // Epoch returns the current epoch (starting at 0).
@@ -260,10 +316,14 @@ func (g *Generator) Epoch() int64 { return g.epoch }
 // NumNodes returns the number of nodes covered by the dataset.
 func (g *Generator) NumNodes() int { return len(g.positions) }
 
-// Value returns the current reading of a node for a sensor type, clamped to
-// the type's physical span.
+// Value returns the current reading of a node for a sensor type, clamped
+// to the type's physical span, evaluating the field for that node lazily.
 func (g *Generator) Value(id topology.NodeID, t Type) float64 {
-	return g.values[id][t]
+	i := int(id)
+	if g.stamp[int(t)*len(g.positions)+i] != g.epoch {
+		g.eval(i, t)
+	}
+	return g.values[i][t]
 }
 
 // Values returns the current readings of all nodes for one type, indexed by
@@ -271,31 +331,60 @@ func (g *Generator) Value(id topology.NodeID, t Type) float64 {
 func (g *Generator) Values(t Type) []float64 {
 	out := make([]float64, len(g.values))
 	for i := range g.values {
-		out[i] = g.values[i][t]
+		out[i] = g.Value(topology.NodeID(i), t)
 	}
 	return out
 }
 
+// Evals returns the total number of per-(node, type) field evaluations
+// performed so far — the work quiescence gating exists to avoid. Tests use
+// it to prove that quiet windows cost nothing.
+func (g *Generator) Evals() uint64 { return g.evals }
+
+// maxPlumeSlope is the magnitude of a unit-amplitude Gaussian's steepest
+// slope, attained one sigma from the centre: exp(-1/2)/sigma.
+const maxPlumeSlope = 0.6065306597126334
+
 // Step advances the dataset by one epoch: plume centres drift, the diurnal
-// phase advances, and per-node AR(1) noise evolves.
+// phase advances, and per-node AR(1) noise evolves. Values are NOT
+// recomputed here; each type's cumulative plume-motion bound grows by how
+// much this epoch's drift can possibly have changed any node's plume sum,
+// which is what lets ActiveSweep refute hysteresis escapes without
+// evaluating the field.
 func (g *Generator) Step() {
 	g.epoch++
 	for _, t := range AllTypes() {
 		f := g.fields[t]
 		p := f.params
+		motion := 0.0
 		for i := range f.plumes {
 			pl := &f.plumes[i]
+			ox, oy := pl.x, pl.y
 			pl.x += f.rng.NormFloat64() * p.DriftStep
 			pl.y += f.rng.NormFloat64() * p.DriftStep
 			// Reflect at the area boundary so plumes stay in play.
 			pl.x = reflect(pl.x, f.width)
 			pl.y = reflect(pl.y, f.height)
+			// Conservative bound on this plume's contribution change at any
+			// position: displacement times the Gaussian's steepest slope,
+			// capped at the full amplitude. Reflection is a contraction, so
+			// the realized displacement is what matters.
+			amp := math.Abs(pl.amp)
+			b := amp
+			if pl.sigma > 0 {
+				dx, dy := pl.x-ox, pl.y-oy
+				if s := math.Sqrt(dx*dx+dy*dy) * maxPlumeSlope / pl.sigma * amp; s < b {
+					b = s
+				}
+			}
+			motion += b
 		}
 		for i := range f.noise {
 			f.noise[i] = p.NoisePhi*f.noise[i] + f.rng.NormFloat64()*p.NoiseSigma
 		}
+		f.cumBound += motion
+		f.dayEpoch = -1
 	}
-	g.compute()
 }
 
 // reflect folds v back into [0, limit].
@@ -311,31 +400,84 @@ func reflect(v, limit float64) float64 {
 	return v
 }
 
-// compute refreshes the cached per-node values for the current epoch.
+// eval computes one node's value for one type at the current epoch — the
+// exact arithmetic the former eager per-epoch sweep used — and records the
+// quiescence snapshot (plume component and cumulative-bound watermark).
+func (g *Generator) eval(i int, t Type) {
+	f := g.fields[t]
+	day := f.day(g.epoch)
+	lo, hi := t.Span()
+	pos := g.positions[i]
+	base := f.params.Base + day + f.noise[i] + f.bias[i]
+	v := base
+	for _, pl := range f.plumes {
+		dx, dy := pos.X-pl.x, pos.Y-pl.y
+		v += pl.amp * math.Exp(-(dx*dx+dy*dy)/(2*pl.sigma*pl.sigma))
+	}
+	k := int(t)*len(g.positions) + i
+	g.snapPlume[k] = v - base
+	g.snapCum[k] = f.cumBound
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	g.values[i][t] = v
+	g.stamp[k] = g.epoch
+	g.evals++
+}
+
+// compute eagerly evaluates every node for every type (generator
+// construction; everything after is lazy).
 func (g *Generator) compute() {
 	for _, t := range AllTypes() {
-		f := g.fields[t]
-		p := f.params
-		day := 0.0
-		if p.PeriodEpoch > 0 {
-			day = p.DiurnalAmp * math.Sin(2*math.Pi*float64(g.epoch)/float64(p.PeriodEpoch)+f.phase)
-		}
-		lo, hi := t.Span()
-		for i, pos := range g.positions {
-			v := p.Base + day + f.noise[i] + f.bias[i]
-			for _, pl := range f.plumes {
-				dx, dy := pos.X-pl.x, pos.Y-pl.y
-				v += pl.amp * math.Exp(-(dx*dx+dy*dy)/(2*pl.sigma*pl.sigma))
-			}
-			if v < lo {
-				v = lo
-			}
-			if v > hi {
-				v = hi
-			}
-			g.values[i][t] = v
+		for i := range g.positions {
+			g.eval(i, t)
 		}
 	}
+}
+
+// ActiveSweep appends to dst the IDs of nodes whose current-epoch reading
+// for type t cannot be *proven* to lie inside the caller's per-node window
+// [lo[i], hi[i]] — for the DirQ protocol, the node's own hysteresis tuple.
+// The proof is conservative and O(1) per node: the diurnal, noise and bias
+// terms are exact (the generator evolves them every epoch anyway), only
+// the plume sum is bracketed by the cumulative motion bound accumulated
+// since the node's last evaluation, and the bracket is clamped to the
+// physical span exactly like real readings. Sentinel windows compose
+// naturally: (+Inf, -Inf) is always swept out (evaluate every epoch),
+// (-Inf, +Inf) never is (unmounted or dead nodes).
+//
+// A node missing from the result is guaranteed to read a value inside its
+// window this epoch, so skipping its hysteresis check is behaviour-
+// preserving, not an approximation.
+func (g *Generator) ActiveSweep(t Type, lo, hi []float64, dst []int32) []int32 {
+	f := g.fields[t]
+	n := len(g.positions)
+	base := f.params.Base + f.day(g.epoch)
+	// Tiny absolute margin so float rounding in the reconstruction can
+	// never flip a knife-edge case to a false "quiet".
+	cum := f.cumBound + 1e-9
+	spanLo, spanHi := t.Span()
+	noise, bias := f.noise, f.bias
+	snapP := g.snapPlume[int(t)*n : int(t)*n+n]
+	snapC := g.snapCum[int(t)*n : int(t)*n+n]
+	for i := 0; i < n; i++ {
+		dev := cum - snapC[i]
+		c := base + noise[i] + bias[i] + snapP[i]
+		vlo, vhi := c-dev, c+dev
+		if vlo < spanLo {
+			vlo = spanLo
+		}
+		if vhi > spanHi {
+			vhi = spanHi
+		}
+		if vlo < lo[i] || vhi > hi[i] {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
 }
 
 // Volatility is an EWMA estimator of a signal's mean absolute per-epoch

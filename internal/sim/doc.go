@@ -14,4 +14,12 @@
 // canceled events return their arena slot to a free list. Engine.Reset
 // rewinds a finished engine for reuse, which lets experiment sweeps and
 // serving shards run many simulations without rebuilding queue storage.
+//
+// Work that is due at every tick (the protocol's epoch sweep, the MAC
+// frame) registers as a ticker (Engine.AddTicker) instead of re-scheduling
+// itself each epoch: Run/RunUntil batch-advance the clock and call tickers
+// directly, so the per-epoch drive costs no event-queue traffic at all.
+// Ordering stays strict — at a shared timestamp a ticker runs before heap
+// events of the same priority, exactly where its self-scheduled
+// predecessor sat.
 package sim

@@ -31,6 +31,20 @@ type EventID struct {
 	gen uint32
 }
 
+// ticker is a handler that runs at every clock tick. Tickers exist so
+// per-epoch loops (the protocol's sensor sweep, the MAC frame) do not pay a
+// heap push + pop per epoch: the engine batch-advances the clock tick by
+// tick and calls each due ticker directly. At a given time, work is ordered
+// by priority, with a ticker running before heap events of the same
+// priority — exactly the order a self-rescheduling event chain had, since
+// such a chain's event always carried a lower sequence number than anything
+// scheduled during the current tick.
+type ticker struct {
+	prio int
+	next Time // next tick this ticker is due at
+	fn   Handler
+}
+
 // Engine is a deterministic discrete-event simulator. The zero value is not
 // usable; construct with NewEngine.
 //
@@ -43,9 +57,11 @@ type Engine struct {
 	events  []event // arena; slots are recycled through free
 	free    []int32 // arena slots available for reuse
 	heap    []int32 // 4-ary min-heap of arena indices, keyed (at, priority, seq)
+	tickers []ticker
 	seq     uint64
 	stopped bool
 	steps   uint64
+	running bool // inside runAt (AddTicker must not reshuffle mid-tick)
 }
 
 // NewEngine returns an engine with the clock at 0 and an empty queue.
@@ -76,10 +92,36 @@ func (e *Engine) Reset() {
 	e.events = e.events[:0]
 	e.free = e.free[:0]
 	e.heap = e.heap[:0]
+	e.tickers = e.tickers[:0]
 	e.now = 0
 	e.seq = 0
 	e.steps = 0
 	e.stopped = false
+	e.running = false
+}
+
+// AddTicker registers fn to run at every clock tick from the current time
+// on, at the given priority relative to heap events sharing the tick (a
+// ticker runs before heap events of equal priority; among tickers,
+// registration order breaks priority ties). Tickers are honored by Run and
+// RunUntil — they replace the schedule-next-tick pattern for work that is
+// due every single epoch, eliminating the per-epoch heap traffic. They
+// cannot be canceled; register them once per run (Reset removes all).
+// AddTicker must not be called from inside a running handler.
+func (e *Engine) AddTicker(prio int, fn Handler) {
+	if fn == nil {
+		panic("sim: AddTicker with nil handler")
+	}
+	if e.running {
+		panic("sim: AddTicker from inside a handler")
+	}
+	i := len(e.tickers)
+	for i > 0 && e.tickers[i-1].prio > prio {
+		i--
+	}
+	e.tickers = append(e.tickers, ticker{})
+	copy(e.tickers[i+1:], e.tickers[i:])
+	e.tickers[i] = ticker{prio: prio, next: e.now, fn: fn}
 }
 
 // less orders two arena slots by (at, priority, seq).
@@ -248,30 +290,95 @@ func (e *Engine) Step() bool {
 	}
 }
 
-// Run executes events until the queue drains or the engine is stopped.
-func (e *Engine) Run() {
-	for e.Step() {
+// peel discards canceled events at the heap head.
+func (e *Engine) peel() {
+	for len(e.heap) > 0 && e.events[e.heap[0]].canceled {
+		e.release(e.pop())
 	}
 }
 
-// RunUntil executes events with timestamps <= until (inclusive), leaving
-// later events queued, and advances the clock to until.
-func (e *Engine) RunUntil(until Time) {
-	for {
-		if e.stopped {
+// runAt executes, in priority order, every ticker due at time t and every
+// heap event scheduled at t, including events scheduled at t by the
+// handlers themselves. The clock must already be at t.
+func (e *Engine) runAt(t Time) {
+	e.running = true
+	ti := 0
+	for !e.stopped {
+		e.peel()
+		// Skip tickers not yet due (registered mid-run for a later tick).
+		for ti < len(e.tickers) && e.tickers[ti].next > t {
+			ti++
+		}
+		headReady := len(e.heap) > 0 && e.events[e.heap[0]].at == t
+		switch {
+		case ti < len(e.tickers) &&
+			(!headReady || e.tickers[ti].prio <= e.events[e.heap[0]].priority):
+			tk := &e.tickers[ti]
+			tk.next = t + 1
+			ti++
+			e.steps++
+			tk.fn()
+		case headReady:
+			e.Step()
+		default:
+			e.running = false
 			return
 		}
-		// Peek, discarding canceled events at the head.
-		for len(e.heap) > 0 && e.events[e.heap[0]].canceled {
-			e.release(e.pop())
+	}
+	e.running = false
+}
+
+// nextWork returns the earliest time at which a ticker or a queued event is
+// due; ok is false when nothing is pending at all.
+func (e *Engine) nextWork() (Time, bool) {
+	e.peel()
+	ok := false
+	var next Time
+	if len(e.heap) > 0 {
+		next, ok = e.events[e.heap[0]].at, true
+	}
+	for i := range e.tickers {
+		if !ok || e.tickers[i].next < next {
+			next, ok = e.tickers[i].next, true
 		}
-		if len(e.heap) == 0 || e.events[e.heap[0]].at > until {
+	}
+	return next, ok
+}
+
+// Run executes events until the queue drains or the engine is stopped.
+// Registered tickers fire at every tick the clock passes through on the
+// way, but do not by themselves keep Run alive: once the heap is empty,
+// Run returns.
+func (e *Engine) Run() {
+	for !e.stopped {
+		e.peel()
+		if len(e.heap) == 0 {
+			return
+		}
+		next, _ := e.nextWork()
+		if next > e.now {
+			e.now = next
+		}
+		e.runAt(e.now)
+	}
+}
+
+// RunUntil executes events with timestamps <= until (inclusive) and every
+// ticker due on the way, leaving later events queued, and advances the
+// clock to until.
+func (e *Engine) RunUntil(until Time) {
+	for !e.stopped {
+		next, ok := e.nextWork()
+		if !ok || next > until {
 			if e.now < until {
 				e.now = until
 			}
 			return
 		}
-		e.Step()
+		if next > e.now {
+			e.now = next
+		}
+		e.runAt(e.now)
 	}
 }
 
