@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validFile returns a minimal File that passes Validate, for mutation.
+func validFile() File {
+	return File{
+		Schema:     SchemaID,
+		Rev:        "test",
+		Timestamp:  "2026-01-02T03:04:05Z",
+		GoVersion:  "go1.24",
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		CPUs:       4,
+		Iterations: 3,
+		Benchmarks: []Entry{
+			{Name: "workloads/fixed", Group: "workload", NsPerOp: 1e6, Runs: 3,
+				Nodes: 50, Epochs: 20000, EpochsPerSec: 1e5, NodeEpochsPerSec: 5e6},
+			{Name: "substrate/queue", Group: "micro", NsPerOp: 120, Runs: 3},
+			{Name: "scale/fixed-1000", Group: "scale", NsPerOp: 2e9, Runs: 3,
+				Nodes: 1000, Epochs: 1000, EpochsPerSec: 500, NodeEpochsPerSec: 5e5},
+		},
+	}
+}
+
+// TestValidateTable pins the exact rejection text of every BENCH_*.json
+// schema rule, so `dirqbench -check` failures stay actionable.
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+		want   string // exact Validate error; "" means valid
+	}{
+		{"valid", func(f *File) {}, ""},
+		{"wrong schema", func(f *File) { f.Schema = "dirq/bench/v0" },
+			`schema "dirq/bench/v0", want "dirq/bench/v1"`},
+		{"empty rev", func(f *File) { f.Rev = "" },
+			`empty rev`},
+		{"bad timestamp", func(f *File) { f.Timestamp = "yesterday" },
+			`bad timestamp "yesterday": parsing time "yesterday" as "2006-01-02T15:04:05Z07:00": cannot parse "yesterday" as "2006"`},
+		{"zero iterations", func(f *File) { f.Iterations = 0 },
+			`iterations 0 < 1`},
+		{"no benchmarks", func(f *File) { f.Benchmarks = nil },
+			`no benchmarks`},
+		{"empty name", func(f *File) { f.Benchmarks[0].Name = "" },
+			`benchmark 0: empty name`},
+		{"duplicate name", func(f *File) { f.Benchmarks[1].Name = f.Benchmarks[0].Name },
+			`benchmark 1: duplicate name "workloads/fixed"`},
+		{"unknown group", func(f *File) { f.Benchmarks[1].Group = "macro" },
+			`benchmark "substrate/queue": unknown group "macro"`},
+		{"non-positive ns/op", func(f *File) { f.Benchmarks[0].NsPerOp = 0 },
+			`benchmark "workloads/fixed": ns_per_op 0 <= 0`},
+		{"negative allocs", func(f *File) { f.Benchmarks[0].AllocsPerOp = -1 },
+			`benchmark "workloads/fixed": negative allocation stats`},
+		{"workload without throughput", func(f *File) { f.Benchmarks[0].EpochsPerSec = 0 },
+			`benchmark "workloads/fixed": missing throughput`},
+		{"scale without nodes", func(f *File) { f.Benchmarks[2].Nodes = 0 },
+			`benchmark "scale/fixed-1000": scale bench without nodes/epochs`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFile()
+			tc.mutate(&f)
+			err := f.Validate()
+			switch {
+			case tc.want == "" && err != nil:
+				t.Fatalf("valid file rejected: %v", err)
+			case tc.want != "" && err == nil:
+				t.Fatalf("invalid file accepted")
+			case tc.want != "" && err.Error() != tc.want:
+				t.Fatalf("error drifted:\n got %q\nwant %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCommittedBaselines: every BENCH_*.json in the repo root must pass
+// the same validation CI's `dirqbench -check` applies.
+func TestCommittedBaselines(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json baselines found")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := loadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := check(path); err != nil {
+				t.Fatalf("-check failed: %v", err)
+			}
+			if len(f.Benchmarks) == 0 {
+				t.Fatal("baseline has no benchmarks")
+			}
+		})
+	}
+}
+
+// TestCheckRejectsMalformed: -check fails loudly on junk input.
+func TestCheckRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, body, wantSub string
+	}{
+		{"not-json", "not json at all", "not valid JSON"},
+		{"wrong-schema", `{"schema":"other/v9"}`, `schema "other/v9", want "dirq/bench/v1"`},
+		{"empty-object", `{}`, `schema ""`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".json")
+			if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := check(path)
+			if err == nil {
+				t.Fatal("-check accepted malformed file")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	if err := check(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("-check accepted a missing file")
+	}
+}

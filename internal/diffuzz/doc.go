@@ -1,0 +1,30 @@
+// Package diffuzz is the deterministic scenario fuzzer and
+// differential-oracle harness: it derives random-but-reproducible
+// simulation configurations and scripted event timelines from integer
+// seeds, then checks each generated case against the repository's own
+// equivalence invariants instead of hand-written expectations.
+//
+// The oracle panel (see oracles.go) covers every determinism contract the
+// previous PRs established one test at a time:
+//
+//   - determinism: the same case run twice is byte-identical;
+//   - gating: the activity-gated epoch engine reproduces the naive
+//     (DisableActivityGating) loop bit for bit;
+//   - stepping: monolithic Runner.Run equals manual Start/Step driving
+//     under arbitrary chunkings, including external Inject/Resolve
+//     admission at epoch boundaries;
+//   - serve: a live shard's responses under chaos injection are exactly
+//     reproduced by Replay of its admission log;
+//   - workers: experiment sweeps are invariant to the worker count.
+//
+// A case that fails an oracle is shrunk (shrink.go) to a minimal repro —
+// events dropped, the horizon halved, the network shrunk, knobs
+// simplified — and written as a runnable repro JSON into a corpus
+// directory. Committed repros under testdata/corpus/ are replayed by the
+// package tests forever after, so every divergence the fuzzer ever found
+// stays fixed.
+//
+// cmd/dirqfuzz is the CLI front end; CI runs a reduced-seed smoke on
+// every PR and a scheduled nightly long run. See TESTING.md for the
+// workflow.
+package diffuzz

@@ -1,0 +1,199 @@
+package diffuzz
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/scenario"
+)
+
+// Options configures one fuzzing campaign.
+type Options struct {
+	// SeedBase is the first seed; seeds SeedBase..SeedBase+Seeds-1 run.
+	SeedBase uint64
+	// Seeds is how many consecutive seeds to fuzz.
+	Seeds int
+	// Oracles selects which oracles run per case; nil means AllOracles.
+	Oracles []string
+	// Context, when non-nil, bounds the campaign: seeds not yet started
+	// when it is done are skipped (reported in Summary.Skipped). The
+	// deadline lives here rather than in a duration knob so this package
+	// never reads the wall clock itself.
+	Context context.Context
+	// Shrink minimizes failing cases before reporting them.
+	Shrink bool
+	// ShrinkBudget bounds oracle re-runs per shrink (0: DefaultShrinkBudget).
+	ShrinkBudget int
+	// CorpusDir, when set, receives a repro JSON per failure.
+	CorpusDir string
+	// Workers bounds concurrent cases (0: GOMAXPROCS).
+	Workers int
+	// Perturb, when non-nil, is applied to the second determinism run of
+	// every case — test instrumentation for injecting a divergence.
+	Perturb func(*scenario.Runner)
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Failure is one divergence found by a campaign.
+type Failure struct {
+	Seed   uint64
+	Oracle string
+	// Detail is the divergence message from the original (unshrunk) case.
+	Detail string
+	// Case is the generated case; Minimized is the shrunk variant (equal
+	// to Case when shrinking is off or failed to reduce anything).
+	Case      Case
+	Minimized Case
+	// ReproPath is where the repro JSON was written, if CorpusDir was set.
+	ReproPath string
+	// ShrinkRuns counts oracle re-executions the shrink spent.
+	ShrinkRuns int
+}
+
+// Summary reports one campaign.
+type Summary struct {
+	Cases      int // cases fully executed
+	Skipped    int // seeds skipped because the Context expired
+	OracleRuns int // oracle executions, including shrink re-runs
+	Failures   []Failure
+}
+
+// Fuzz runs a campaign: generate one case per seed, run the selected
+// oracles, shrink and record any divergence. Oracle errors that are not
+// Divergences (infrastructure failures) abort the campaign — they mean
+// the harness itself is broken, which must not scroll past as noise.
+func Fuzz(o Options) (*Summary, error) {
+	if o.Seeds <= 0 {
+		return nil, fmt.Errorf("diffuzz: Seeds must be positive, got %d", o.Seeds)
+	}
+	oracles := o.Oracles
+	if len(oracles) == 0 {
+		oracles = AllOracles()
+	}
+	for _, name := range oracles {
+		known := false
+		for _, o := range AllOracles() {
+			known = known || o == name
+		}
+		if !known {
+			return nil, fmt.Errorf("diffuzz: unknown oracle %q (known: %v)", name, AllOracles())
+		}
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > o.Seeds {
+		workers = o.Seeds
+	}
+
+	var (
+		mu       sync.Mutex
+		failures []Failure
+		cases    atomic.Int64
+		skipped  atomic.Int64
+		runs     atomic.Int64
+		infraErr error
+		next     atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	next.Store(o.SeedBase)
+	last := o.SeedBase + uint64(o.Seeds)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seed := next.Add(1) - 1
+				if seed >= last {
+					return
+				}
+				if ctx.Err() != nil {
+					skipped.Add(1)
+					continue
+				}
+				c := Generate(seed)
+				cases.Add(1)
+				for _, name := range oracles {
+					runs.Add(1)
+					err := RunOracle(name, c, o.Perturb)
+					if err == nil {
+						continue
+					}
+					var d *Divergence
+					if !errors.As(err, &d) {
+						mu.Lock()
+						if infraErr == nil {
+							infraErr = fmt.Errorf("diffuzz: seed %d oracle %s: %w", seed, name, err)
+						}
+						mu.Unlock()
+						return
+					}
+					f := Failure{Seed: seed, Oracle: name, Detail: d.Detail, Case: c, Minimized: c}
+					if o.Shrink {
+						f.Minimized, f.ShrinkRuns = Shrink(c, name, o.Perturb, o.ShrinkBudget)
+						runs.Add(int64(f.ShrinkRuns))
+					}
+					if o.CorpusDir != "" {
+						path, werr := WriteRepro(o.CorpusDir, Repro{
+							Oracle: name,
+							Note:   firstLine(d.Detail),
+							Case:   f.Minimized,
+						})
+						if werr != nil {
+							logf("diffuzz: seed %d: writing repro: %v", seed, werr)
+						} else {
+							f.ReproPath = path
+						}
+					}
+					mu.Lock()
+					failures = append(failures, f)
+					mu.Unlock()
+					logf("FAIL seed=%d oracle=%s events=%d->%d %s",
+						seed, name, len(f.Case.Script.Events), len(f.Minimized.Script.Events), firstLine(d.Detail))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if infraErr != nil {
+		return nil, infraErr
+	}
+	sort.Slice(failures, func(i, j int) bool {
+		if failures[i].Seed != failures[j].Seed {
+			return failures[i].Seed < failures[j].Seed
+		}
+		return failures[i].Oracle < failures[j].Oracle
+	})
+	return &Summary{
+		Cases:      int(cases.Load()),
+		Skipped:    int(skipped.Load()),
+		OracleRuns: int(runs.Load()),
+		Failures:   failures,
+	}, nil
+}
+
+// firstLine truncates a multi-line detail to its headline.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package script
+
+import "testing"
+
+// TestParseErrorMessages pins the exact error text of every Parse
+// rejection path. Hand-written scenario files get these strings verbatim;
+// changing one is an interface change and should fail a test, not slip
+// through.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{
+			"unknown top-level field",
+			`{"nope":1}`,
+			`script: bad JSON: json: unknown field "nope"`,
+		},
+		{
+			"unknown event field",
+			`{"events":[{"at":10,"op":"kill","frobnicate":1}]}`,
+			`script: bad JSON: json: unknown field "frobnicate"`,
+		},
+		{
+			"unknown op",
+			`{"events":[{"at":10,"op":"explode"}]}`,
+			`script: unknown op "explode" at epoch 10`,
+		},
+		{
+			"negative epoch",
+			`{"events":[{"at":-3,"op":"kill"}]}`,
+			`script: event "kill" at negative epoch -3`,
+		},
+		{
+			"events out of order",
+			`{"events":[{"at":20,"op":"kill"},{"at":10,"op":"kill"}]}`,
+			`script: events not ordered by epoch at index 1 (10 after 20)`,
+		},
+		{
+			"cascade without count",
+			`{"events":[{"at":5,"op":"cascade"}]}`,
+			`script: cascade at 5: count 0 < 1`,
+		},
+		{
+			"cascade negative spacing",
+			`{"events":[{"at":5,"op":"cascade","count":2,"spacing":-1}]}`,
+			`script: cascade at 5: negative spacing -1`,
+		},
+		{
+			"shift with empty target set",
+			`{"events":[{"at":5,"op":"shift","delta":2}]}`,
+			`script: shift at 5: unknown sensor type ""`,
+		},
+		{
+			"shift unknown sensor type",
+			`{"events":[{"at":5,"op":"shift","type":"pressure","delta":2}]}`,
+			`script: shift at 5: unknown sensor type "pressure"`,
+		},
+		{
+			"shift zero delta",
+			`{"events":[{"at":5,"op":"shift","type":"light"}]}`,
+			`script: shift at 5: zero delta`,
+		},
+		{
+			"drift unknown sensor type",
+			`{"events":[{"at":5,"op":"drift","type":"wind","scale":2}]}`,
+			`script: drift at 5: unknown sensor type "wind"`,
+		},
+		{
+			"drift non-positive scale",
+			`{"events":[{"at":5,"op":"drift","scale":0}]}`,
+			`script: drift at 5: scale 0 <= 0`,
+		},
+		{
+			"burst without interval",
+			`{"events":[{"at":5,"op":"burst"}]}`,
+			`script: burst at 5: interval 0 < 1`,
+		},
+		{
+			"coverage out of range",
+			`{"events":[{"at":5,"op":"coverage","coverage":1.5}]}`,
+			`script: coverage at 5: target 1.5 outside (0,1]`,
+		},
+		{
+			"retune non-positive delta",
+			`{"events":[{"at":5,"op":"retune"}]}`,
+			`script: retune at 5: delta 0 <= 0`,
+		},
+		{
+			"negative workload interval",
+			`{"workload":{"interval":-4}}`,
+			`script: negative workload interval -4`,
+		},
+		{
+			"workload coverage out of range",
+			`{"workload":{"coverage":1.5}}`,
+			`script: workload coverage 1.5 outside [0,1]`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.doc)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error message drifted:\n got %q\nwant %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDuplicateEpochEventsLegal: several events at one epoch are valid
+// (ties keep document order through Validate and the stable Expand sort),
+// so chaos scripts can stack a kill and a burst on the same epoch.
+func TestDuplicateEpochEventsLegal(t *testing.T) {
+	s, err := Parse([]byte(`{"events":[
+		{"at":10,"op":"kill"},
+		{"at":10,"op":"burst","interval":5},
+		{"at":10,"op":"retune","delta":2}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{OpKill, OpBurst, OpRetune}
+	if len(expanded) != len(wantOps) {
+		t.Fatalf("expanded %d events, want %d", len(expanded), len(wantOps))
+	}
+	for i, e := range expanded {
+		if e.At != 10 || e.Op != wantOps[i] {
+			t.Fatalf("tie order not preserved at %d: got %q@%d want %q@10", i, e.Op, e.At, wantOps[i])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package script
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestAllCommittedScripts runs the full Load→Expand→NewPlayer pipeline
+// over every scenario file committed under scripts/, so example scripts
+// can never drift out of schema: adding a new file makes it validated
+// with no test change.
+func TestAllCommittedScripts(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scripts", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed scripts found under scripts/*.json")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			s, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name == "" {
+				t.Error("committed script has no name")
+			}
+			expanded, err := s.Expand()
+			if err != nil {
+				t.Fatalf("expand: %v", err)
+			}
+			if len(expanded) < len(s.Events) {
+				t.Errorf("expand shrank the timeline: %d -> %d", len(s.Events), len(expanded))
+			}
+			if _, err := NewPlayer(s); err != nil {
+				t.Fatalf("player: %v", err)
+			}
+		})
+	}
+}

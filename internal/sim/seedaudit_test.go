@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoAmbientRandomness audits the whole module for ambient entropy:
+// every simulation draw must come from sim.RNG with an explicit seed, or
+// results stop being reproducible and the diffuzz oracles stop meaning
+// anything. Two invariants:
+//
+//   - no file imports math/rand or math/rand/v2, anywhere — sim.RNG is
+//     the only generator;
+//   - no non-test library file calls time.Now; wall-clock reads are
+//     confined to package main under cmd/ (timestamps in CLI output) and
+//     to tests. Library code that needs a deadline takes a context.
+func TestNoAmbientRandomness(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				t.Errorf("%s imports %s; use repro/internal/sim.RNG with an explicit seed", rel, imp.Path.Value)
+			}
+		}
+
+		if strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if f.Name.Name == "main" && strings.HasPrefix(rel, "cmd"+string(filepath.Separator)) {
+			return nil
+		}
+		timeName := importName(f, "time")
+		if timeName == "" {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Now" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName && id.Obj == nil {
+				t.Errorf("%s:%d calls time.Now; library code must stay clock-free (take a context or a timestamp)",
+					rel, fset.Position(sel.Pos()).Line)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moduleRoot walks upward from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// importName returns the identifier a file uses for an import path, or ""
+// when the path is not imported. A dot import returns "." (which the
+// selector check then can't match — acceptable: the repo bans dot imports
+// by convention and gofmt keeps them out).
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return path
+	}
+	return ""
+}
