@@ -60,6 +60,7 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -70,6 +71,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -105,6 +107,11 @@ type Entry struct {
 	Epochs           int64   `json:"epochs,omitempty"`
 	EpochsPerSec     float64 `json:"epochs_per_sec,omitempty"`
 	NodeEpochsPerSec float64 `json:"node_epochs_per_sec,omitempty"`
+
+	// Telemetry carries informational counter totals (and histogram
+	// counts) from one extra telemetry-instrumented run of the same
+	// workload: where the work goes per benchmark, not a timing input.
+	Telemetry map[string]int64 `json:"telemetry,omitempty"`
 }
 
 // spec declares one benchmark.
@@ -114,6 +121,9 @@ type spec struct {
 	nodes  int   // simulated network size (workloads only)
 	epochs int64 // simulated horizon (workloads only)
 	fn     func(b *testing.B)
+	// snap, when set, produces the Entry's informational telemetry
+	// totals from one non-timed instrumented run.
+	snap func() (map[string]int64, error)
 }
 
 // scale returns the benchmark scale: the paper's §7 setup, or the reduced
@@ -157,15 +167,53 @@ func scenarioCfg(quick bool, mode scenario.ThresholdMode) scenario.Config {
 	return cfg
 }
 
-// specs assembles the benchmark set.
+// telemetrySnapshot runs cfg once with a fresh registry and flattens the
+// counters (and histogram counts) into the Entry's informational map.
+func telemetrySnapshot(cfg scenario.Config) (map[string]int64, error) {
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	if _, err := scenario.Run(cfg); err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		key := s.Name
+		if len(s.Labels) > 0 {
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=%q", k, s.Labels[k]))
+			}
+			key += "{" + strings.Join(parts, ",") + "}"
+		}
+		switch s.Kind {
+		case telemetry.KindHistogram:
+			out[key+"_count"] = s.Count
+		default:
+			out[key] = int64(s.Value)
+		}
+	}
+	return out, nil
+}
+
+// specs assembles the benchmark set. Workload and scale benches run with
+// a telemetry registry attached, so the recorded throughput is the
+// instrumented build's — the overhead the acceptance gate bounds.
 func specs(quick bool) []spec {
 	nodes, epochs := scale(quick)
-	expOpts := experiments.Options{Seed: 1, NumNodes: nodes, Epochs: epochs, Workers: 1}
+	expOpts := experiments.Options{Seed: 1, NumNodes: nodes, Epochs: epochs, Workers: 1,
+		Telemetry: telemetry.NewRegistry()}
 
 	runScenario := func(b *testing.B, mode scenario.ThresholdMode, flood bool) {
+		reg := telemetry.NewRegistry()
 		for i := 0; i < b.N; i++ {
 			cfg := scenarioCfg(quick, mode)
 			cfg.DisseminateByFlooding = flood
+			cfg.Telemetry = reg
 			if _, err := scenario.Run(cfg); err != nil {
 				b.Fatal(err)
 			}
@@ -173,6 +221,8 @@ func specs(quick bool) []spec {
 	}
 
 	runScale := func(b *testing.B, cfg scenario.Config) {
+		reg := telemetry.NewRegistry()
+		cfg.Telemetry = reg
 		for i := 0; i < b.N; i++ {
 			if _, err := scenario.Run(cfg); err != nil {
 				b.Fatal(err)
@@ -192,7 +242,8 @@ func specs(quick bool) []spec {
 			// self-contained family (and at -quick the two differ).
 			name: fmt.Sprintf("scale/fixed-%d", sp.nodes), group: "scale",
 			nodes: sp.nodes, epochs: ep,
-			fn: func(b *testing.B) { runScale(b, cfg) },
+			fn:   func(b *testing.B) { runScale(b, cfg) },
+			snap: func() (map[string]int64, error) { return telemetrySnapshot(cfg) },
 		})
 		if sp.includeNaive {
 			ncfg := scaleScenario(sp.nodes, ep, true)
@@ -202,18 +253,30 @@ func specs(quick bool) []spec {
 				// acceptance gate tracks.
 				name: fmt.Sprintf("scale/naive-%d", sp.nodes), group: "scale",
 				nodes: sp.nodes, epochs: ep,
-				fn: func(b *testing.B) { runScale(b, ncfg) },
+				fn:   func(b *testing.B) { runScale(b, ncfg) },
+				snap: func() (map[string]int64, error) { return telemetrySnapshot(ncfg) },
 			})
+		}
+	}
+
+	headlineSnap := func(mode scenario.ThresholdMode, flood bool) func() (map[string]int64, error) {
+		return func() (map[string]int64, error) {
+			cfg := scenarioCfg(quick, mode)
+			cfg.DisseminateByFlooding = flood
+			return telemetrySnapshot(cfg)
 		}
 	}
 
 	return append([]spec{
 		{name: "headline/fixed", group: "workload", nodes: nodes, epochs: epochs,
-			fn: func(b *testing.B) { runScenario(b, scenario.FixedDelta, false) }},
+			fn:   func(b *testing.B) { runScenario(b, scenario.FixedDelta, false) },
+			snap: headlineSnap(scenario.FixedDelta, false)},
 		{name: "headline/atc", group: "workload", nodes: nodes, epochs: epochs,
-			fn: func(b *testing.B) { runScenario(b, scenario.ATC, false) }},
+			fn:   func(b *testing.B) { runScenario(b, scenario.ATC, false) },
+			snap: headlineSnap(scenario.ATC, false)},
 		{name: "headline/flood", group: "workload", nodes: nodes, epochs: epochs,
-			fn: func(b *testing.B) { runScenario(b, scenario.FixedDelta, true) }},
+			fn:   func(b *testing.B) { runScenario(b, scenario.FixedDelta, true) },
+			snap: headlineSnap(scenario.FixedDelta, true)},
 		{name: "experiments/fig6", group: "workload", nodes: nodes, epochs: epochs,
 			fn: func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -415,6 +478,13 @@ func measureAll(all []spec, iters int) []Entry {
 				e.EpochsPerSec, e.NodeEpochsPerSec)
 		}
 		fmt.Fprintln(os.Stderr, line)
+		if s.snap != nil {
+			if t, err := s.snap(); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry snapshot for %s failed: %v\n", s.name, err)
+			} else {
+				e.Telemetry = t
+			}
+		}
 		out = append(out, e)
 	}
 	return out
@@ -453,6 +523,7 @@ func compare(basePath, candPath string, tolerance float64, iters int) error {
 	fmt.Printf("bench gate: candidate (%s) vs baseline %s (rev %s), tolerance %.0f%%\n",
 		candName, basePath, base.Rev, tolerance*100)
 	compared, regressed, missing := 0, 0, 0
+	sumRatio := 0.0
 	for _, b := range base.Benchmarks {
 		c, ok := byName[b.Name]
 		switch {
@@ -477,6 +548,7 @@ func compare(basePath, candPath string, tolerance float64, iters int) error {
 		default:
 			compared++
 			ratio := c.EpochsPerSec / b.EpochsPerSec
+			sumRatio += ratio
 			verdict := "ok"
 			if ratio < 1-tolerance {
 				verdict = "REGRESSION"
@@ -489,6 +561,8 @@ func compare(basePath, candPath string, tolerance float64, iters int) error {
 	if compared == 0 {
 		return fmt.Errorf("no comparable workload/scale benchmarks between candidate and %s — the gate would be vacuous", basePath)
 	}
+	fmt.Printf("mean epochs/s delta vs baseline: %+.1f%% across %d benchmarks\n",
+		(sumRatio/float64(compared)-1)*100, compared)
 	if missing > 0 {
 		return fmt.Errorf("%d gating benchmarks from %s are missing in the candidate — regenerate and commit the baseline alongside the spec change", missing, basePath)
 	}

@@ -23,10 +23,16 @@
 //
 // Endpoints:
 //
-//	POST /query    {"shard":"s0","type":"temperature","lo":10,"hi":25}
-//	GET  /stats    live per-shard accuracy and cost-vs-flooding counters
-//	GET  /healthz  shard loop liveness
-//	GET  /shards   hosted shard descriptions
+//	POST /query         {"shard":"s0","type":"temperature","lo":10,"hi":25}
+//	GET  /stats         live per-shard accuracy and cost-vs-flooding
+//	                    counters, plus server build/uptime/runtime info
+//	GET  /healthz       shard loop liveness
+//	GET  /shards        hosted shard descriptions
+//	GET  /metrics       telemetry registry in Prometheus text format
+//	GET  /metrics.json  the same registry as JSON with p50/p90/p99
+//
+// The build version reported by /stats is stamped at link time with
+// `-ldflags "-X main.version=..."`.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight queries are answered
 // with 503 and the HTTP server drains before exit.
@@ -48,6 +54,9 @@ import (
 	"repro/internal/script"
 	"repro/internal/serve"
 )
+
+// version is stamped at link time: go build -ldflags "-X main.version=v7".
+var version = "dev"
 
 func main() {
 	log.SetFlags(0)
@@ -116,6 +125,7 @@ func main() {
 			SettleEpochs: *settle,
 			Tick:         *tick,
 			Chaos:        chaos,
+			Clock:        func() int64 { return time.Now().UnixNano() },
 		}
 	}
 	mgr, err := serve.NewManager(cfgs)
@@ -129,11 +139,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(mgr)}
+	handler := serve.NewHandler(mgr, serve.ServerInfo{Version: version, Now: time.Now})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("%d shard(s) of %d nodes (mode %s), serving on %s",
-		*shards, *nodes, base.Mode, *addr)
+	log.Printf("%s: %d shard(s) of %d nodes (mode %s), serving on %s (metrics at /metrics)",
+		version, *shards, *nodes, base.Mode, *addr)
 
 	select {
 	case <-ctx.Done():

@@ -24,6 +24,15 @@
 // scripted fault; with -json the whole report is machine-readable and —
 // because nothing in it depends on wall-clock — byte-identical across
 // runs of the same scenario (CI diffs two runs to prove it).
+//
+// -telemetry FILE ("-" = stdout) attaches a metrics registry and emits an
+// epoch-trace: one NDJSON line per reporting bucket (BucketEpochs wide)
+// with the window's deltas of every counter and histogram plus gauge
+// levels — engine events, field evaluations, LMAC frame kinds, radio
+// traffic, active-set sizes. Telemetry is inert (the summary is
+// byte-identical with or without it) and the trace itself is
+// deterministic: same seed, same NDJSON bytes (CI diffs two runs).
+// Incompatible with -script, which owns the stepping.
 package main
 
 import (
@@ -32,9 +41,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	dirq "repro"
 	"repro/internal/script"
+	"repro/internal/telemetry"
 )
 
 // jsonSummary is the machine-readable form of one run, emitted by -json.
@@ -86,6 +98,7 @@ func main() {
 	traceN := flag.Int("trace", 0, "print the last N protocol events")
 	asJSON := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
 	scriptPath := flag.String("script", "", "scenario-dynamics script driving the run")
+	telePath := flag.String("telemetry", "", `emit a per-bucket epoch-trace NDJSON to this file ("-" = stdout)`)
 	flag.Parse()
 
 	// Above the paper's 50 nodes the default area and depth cap auto-scale
@@ -137,11 +150,27 @@ func main() {
 		cfg.Script = p
 		report = p.Report()
 	}
+	var reg *telemetry.Registry
+	if *telePath != "" {
+		if *scriptPath != "" {
+			log.Fatal("-telemetry and -script are mutually exclusive (the script owns the stepping)")
+		}
+		reg = telemetry.NewRegistry()
+		cfg.Telemetry = reg
+	}
 	runner, err := dirq.Build(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := runner.Run()
+	var res *dirq.Result
+	if reg != nil {
+		res, err = runTraced(runner, reg, *telePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		res = runner.Run()
+	}
 
 	if *asJSON {
 		s := jsonSummary{
@@ -239,4 +268,93 @@ func main() {
 		}
 	}
 	os.Exit(0)
+}
+
+// traceLine is one NDJSON record of the -telemetry epoch trace. Metrics
+// holds the window's deltas of every counter and histogram (count and
+// sum) plus gauge levels; json.Marshal sorts the map keys, so the same
+// seed reproduces the same bytes.
+type traceLine struct {
+	Schema  string             `json:"schema"`
+	From    int64              `json:"from"`
+	To      int64              `json:"to"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// runTraced drives the runner one reporting bucket at a time, emitting a
+// traceLine per window, and returns the normal end-of-run Result.
+func runTraced(runner *dirq.Runner, reg *telemetry.Registry, path string) (*dirq.Result, error) {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	runner.Start()
+	window := runner.Cfg.BucketEpochs
+	if window <= 0 {
+		window = 100
+	}
+	prev := reg.Snapshot()
+	for !runner.Done() {
+		from := runner.Epoch()
+		runner.Step(window)
+		cur := reg.Snapshot()
+		line := traceLine{
+			Schema:  "dirq/epoch-trace/v1",
+			From:    from,
+			To:      runner.Epoch(),
+			Metrics: windowMetrics(prev, cur),
+		}
+		if err := enc.Encode(line); err != nil {
+			return nil, err
+		}
+		prev = cur
+	}
+	return runner.Snapshot(), nil
+}
+
+// traceKey renders one series' identity ({name} or {name{labels}}).
+func traceKey(s telemetry.SeriesSnapshot) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, s.Labels[k]))
+	}
+	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// windowMetrics computes one window's movement: counters and histograms
+// as deltas against the previous snapshot, gauges as absolute levels.
+func windowMetrics(prev, cur []telemetry.SeriesSnapshot) map[string]float64 {
+	base := make(map[string]telemetry.SeriesSnapshot, len(prev))
+	for _, s := range prev {
+		base[traceKey(s)] = s
+	}
+	out := make(map[string]float64, len(cur))
+	for _, s := range cur {
+		k := traceKey(s)
+		p := base[k] // zero value when the series is new this window
+		switch s.Kind {
+		case telemetry.KindCounter:
+			out[k] = s.Value - p.Value
+		case telemetry.KindGauge:
+			out[k] = s.Value
+		case telemetry.KindHistogram:
+			out[k+"_count"] = float64(s.Count - p.Count)
+			out[k+"_sum"] = s.Sum - p.Sum
+		}
+	}
+	return out
 }

@@ -28,9 +28,10 @@ func main() {
 	base.NumNodes = 30
 	base.Epochs = 1 << 40 // serve "forever"
 	base.Mode = dirq.ATC
+	wallClock := func() int64 { return time.Now().UnixNano() }
 	cfgs := []serve.ShardConfig{
-		{ID: "west", Scenario: withSeed(base, 1)},
-		{ID: "east", Scenario: withSeed(base, 2)},
+		{ID: "west", Scenario: withSeed(base, 1), Clock: wallClock},
+		{ID: "east", Scenario: withSeed(base, 2), Clock: wallClock},
 	}
 	mgr, err := serve.NewManager(cfgs)
 	if err != nil {
@@ -65,6 +66,7 @@ func main() {
 		{"soil-moisture", 20, 40},
 		{"temperature", -10, 40},
 	}
+	queryStart := time.Now()
 	var wg sync.WaitGroup
 	for i, qs := range questions {
 		wg.Add(1)
@@ -84,6 +86,7 @@ func main() {
 		}(i, qs.typ, qs.lo, qs.hi)
 	}
 	wg.Wait()
+	elapsed := time.Since(queryStart)
 
 	// What the operator sees.
 	stats, err := c.Stats(ctx)
@@ -94,6 +97,34 @@ func main() {
 	for _, st := range stats.Shards {
 		fmt.Printf("shard %s: epoch %d, %d queries served, cost vs flooding %.1f%%\n",
 			st.ID, st.Epoch, st.QueriesServed, st.CostFraction*100)
+	}
+
+	// The same deployment through its telemetry: scrape /metrics.json and
+	// summarize what Prometheus would see.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var served int64
+	for _, s := range metrics {
+		if s.Name == "dirq_serve_queries_served_total" {
+			served += int64(s.Value)
+		}
+	}
+	fmt.Printf("\nscraped %d metric series from /metrics.json:\n", len(metrics))
+	fmt.Printf("  throughput: %d queries in %.2fs = %.1f qps\n",
+		served, elapsed.Seconds(), float64(served)/elapsed.Seconds())
+	for _, s := range metrics {
+		switch s.Name {
+		case "dirq_serve_query_latency_seconds":
+			fmt.Printf("  shard %s latency: p50 %.0fms  p99 %.0fms (%d observations)\n",
+				s.Labels["shard"], s.Quantile(0.5)*1e3, s.Quantile(0.99)*1e3, s.Count)
+		case "dirq_core_active_set_size":
+			if s.Count > 0 {
+				fmt.Printf("  shard %s active set: mean %.1f nodes/epoch over %d epochs\n",
+					s.Labels["shard"], s.Sum/float64(s.Count), s.Count)
+			}
+		}
 	}
 
 	// Graceful teardown: HTTP drain, then shard drain.

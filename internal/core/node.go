@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/radio"
 	"repro/internal/sensordata"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -51,6 +52,9 @@ type Node struct {
 	updatesSent     int64
 	trace           func(TraceEvent)
 	geo             GeoResolver
+	// telUpdates mirrors updatesSent into the shared tuples-sent counter
+	// (nil-safe; wired by Protocol when telemetry is attached).
+	telUpdates *telemetry.Counter
 
 	// msgPool, when set (by Protocol), recycles Update Message boxes so a
 	// range-update hop does not heap-allocate. Nil falls back to plain
@@ -253,6 +257,7 @@ func (n *Node) maybeSendUpdate(t sensordata.Type) {
 		n.emit(TraceEvent{Kind: TraceUpdateSent, Node: n.id, Peer: n.parent, Type: t})
 	}
 	n.updatesSent++
+	n.telUpdates.Inc()
 	n.ctrl.OnUpdateSent()
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/sensordata"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -55,6 +56,25 @@ type Config struct {
 	// capabilities. The gated loop is proven equivalent, so this exists
 	// only as the "naive" reference for tests and scale benchmarks.
 	DisableGating bool
+	// Telemetry optionally instruments the protocol. The zero value
+	// disables all counters (every instrument is nil-safe); nothing here
+	// reads back into protocol decisions.
+	Telemetry Telemetry
+}
+
+// Telemetry is the protocol's instrument set. All fields may be nil.
+type Telemetry struct {
+	// Epochs counts RunEpoch invocations.
+	Epochs *telemetry.Counter
+	// ActiveNodes counts nodes processed across all epochs (the worklist
+	// under gating; every live deployed node under the naive loop).
+	ActiveNodes *telemetry.Counter
+	// ActiveSetSize is the per-epoch distribution of worklist sizes.
+	ActiveSetSize *telemetry.Histogram
+	// TuplesSent counts Update Messages transmitted by all nodes.
+	TuplesSent *telemetry.Counter
+	// Retunes counts controllers that accepted a RetuneAll change.
+	Retunes *telemetry.Counter
 }
 
 // DefaultConfig returns the paper-default parameters: 100 epochs per hour,
@@ -148,6 +168,7 @@ func New(engine *sim.Engine, mac *lmac.MAC, channel *radio.Channel,
 		p.nodes[i] = NewNode(id, mounted[i], cfg.Controllers(id), mac, p)
 		p.nodes[i].SetTrace(cfg.Trace)
 		p.nodes[i].msgPool = &p.updPool
+		p.nodes[i].telUpdates = cfg.Telemetry.TuplesSent
 	}
 	// Tree wiring: parents and child lists.
 	for _, id := range tree.Nodes() {
@@ -246,6 +267,7 @@ func (p *Protocol) RunEpoch() {
 	if now > 0 {
 		p.gen.Step()
 	}
+	p.cfg.Telemetry.Epochs.Inc()
 	h := &p.hot
 	if h.disabled {
 		// The honest naive reference: the classic full sweep, with no
@@ -276,6 +298,8 @@ func (p *Protocol) RunEpoch() {
 	}
 	h.active = active
 	slices.Sort(active)
+	p.cfg.Telemetry.ActiveSetSize.Observe(float64(len(active)))
+	p.cfg.Telemetry.ActiveNodes.Add(int64(len(active)))
 
 	for _, ai := range active {
 		i := int(ai)
@@ -317,6 +341,7 @@ func (p *Protocol) RunEpoch() {
 // runEpochNaive is the pre-gating epoch body: every live deployed node
 // samples every mounted type, every epoch, with no worklist bookkeeping.
 func (p *Protocol) runEpochNaive() {
+	processed := 0
 	for i := range p.nodes {
 		id := topology.NodeID(i)
 		if !p.channel.Alive(id) {
@@ -326,7 +351,10 @@ func (p *Protocol) runEpochNaive() {
 			continue // not yet deployed
 		}
 		p.sampleNodeClassic(i)
+		processed++
 	}
+	p.cfg.Telemetry.ActiveSetSize.Observe(float64(processed))
+	p.cfg.Telemetry.ActiveNodes.Add(int64(processed))
 }
 
 // sampleNodeClassic is one node's classic epoch step — every mounted type
@@ -542,6 +570,7 @@ func (p *Protocol) RetuneAll(pct float64) int {
 			n++
 		}
 	}
+	p.cfg.Telemetry.Retunes.Add(int64(n))
 	return n
 }
 

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryInertAcrossExperiments: the zero-drift proof at the
+// experiment layer — a sweep with a shared registry attached (concurrent
+// workers all writing to it) renders the same tables as one without.
+func TestTelemetryInertAcrossExperiments(t *testing.T) {
+	run := func(reg telemetry.Instrumenter) string {
+		opts := tiny()
+		opts.Workers = 4 // exercise concurrent registry sharing
+		opts.Telemetry = reg
+		var buf bytes.Buffer
+		for _, f := range []func() (*Table, error){
+			func() (*Table, error) {
+				r, err := Fig6(opts, 0.4)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			},
+			func() (*Table, error) {
+				r, err := Headline(opts)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			},
+		} {
+			tab, err := f()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+
+	off := run(nil)
+	reg := telemetry.NewRegistry()
+	on := run(reg)
+	if off != on {
+		t.Errorf("experiment tables differ with telemetry attached:\n--- off ---\n%s--- on ---\n%s", off, on)
+	}
+	// The shared registry saw every run the sweeps dispatched.
+	var epochs float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "dirq_epochs_total" {
+			epochs = s.Value
+		}
+	}
+	if epochs <= 0 {
+		t.Errorf("dirq_epochs_total = %v after two experiments, want > 0", epochs)
+	}
+}

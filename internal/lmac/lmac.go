@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -91,7 +92,29 @@ type MAC struct {
 	receivers []func(from topology.NodeID, msg any)
 	onDead    func(at topology.NodeID, dead topology.NodeID)
 	onNew     func(at topology.NodeID, fresh topology.NodeID)
+
+	tel Telemetry
 }
+
+// Telemetry is the MAC's instrument set. All fields may be nil (the
+// instruments are nil-safe); nothing here feeds back into scheduling, so
+// an instrumented MAC runs the identical frame sequence.
+type Telemetry struct {
+	// FramesFull counts frames that ran the full beacon + liveness sweep
+	// (turbulence windows, or quiescence disabled).
+	FramesFull *telemetry.Counter
+	// FramesQuiet counts quiescent frames that visited only dirty nodes.
+	FramesQuiet *telemetry.Counter
+	// FramesSilent counts quiescent frames with no queued traffic at all
+	// (the short-circuit to a frame-counter increment).
+	FramesSilent *telemetry.Counter
+	// MessagesFlushed counts queued data messages handed to the channel.
+	MessagesFlushed *telemetry.Counter
+}
+
+// SetTelemetry binds (or, with the zero value, unbinds) the MAC's
+// instruments.
+func (m *MAC) SetTelemetry(t Telemetry) { m.tel = t }
 
 // New builds a MAC over the channel's graph and assigns the TDMA schedule.
 // All nodes that are alive on the channel are registered immediately.
@@ -384,6 +407,7 @@ func (m *MAC) RunFrame() {
 func (m *MAC) flush(id topology.NodeID, st *nodeState) {
 	pending := st.queue
 	st.queue = st.spare[:0]
+	m.tel.MessagesFlushed.Add(int64(len(pending)))
 	for _, qm := range pending {
 		switch {
 		case qm.broadcast:
@@ -416,6 +440,7 @@ func (m *MAC) runQuietFrame() {
 		m.dirtyNext = m.dirtyNext[:0]
 	}
 	if len(m.dirtyHeap) > 0 {
+		m.tel.FramesQuiet.Inc()
 		m.inFrame = true
 		m.framePos = -1
 		for len(m.dirtyHeap) > 0 {
@@ -430,6 +455,8 @@ func (m *MAC) runQuietFrame() {
 			m.flush(id, st)
 		}
 		m.inFrame = false
+	} else {
+		m.tel.FramesSilent.Inc()
 	}
 	m.stale = true
 	m.frame++
@@ -438,6 +465,7 @@ func (m *MAC) runQuietFrame() {
 // runFullFrame is the original frame: beacon sweep, queue flush, liveness
 // sweep. It runs during turbulence windows and when quiescence is disabled.
 func (m *MAC) runFullFrame() {
+	m.tel.FramesFull.Inc()
 	m.materialize()
 	// Slot order is static (slots are assigned once), so the frame walks
 	// the precomputed (slot, id) order and filters liveness inline.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -126,7 +127,26 @@ type Channel struct {
 	lossProb    float64
 	lossRNG     *sim.RNG
 	aliveChange func(id topology.NodeID, alive bool)
+	tel         Telemetry
 }
+
+// Telemetry is the channel's instrument set. All fields may be nil (the
+// instruments are nil-safe), and none of the counters feeds back into
+// delivery or the loss RNG stream, so instrumented and bare channels
+// deliver identically.
+type Telemetry struct {
+	// Tx counts physical transmissions (one per broadcast/multicast/
+	// unicast send from a live node).
+	Tx *telemetry.Counter
+	// Rx counts successful receptions.
+	Rx *telemetry.Counter
+	// Drops counts receptions lost to the Bernoulli loss process.
+	Drops *telemetry.Counter
+}
+
+// SetTelemetry binds (or, with the zero value, unbinds) the channel's
+// instruments.
+func (ch *Channel) SetTelemetry(t Telemetry) { ch.tel = t }
 
 // NewChannel creates a loss-free channel over g.
 func NewChannel(g *topology.Graph, meter *Meter) *Channel {
@@ -185,7 +205,11 @@ func (ch *Channel) Graph() *topology.Graph { return ch.graph }
 func (ch *Channel) Meter() *Meter { return ch.meter }
 
 func (ch *Channel) dropped() bool {
-	return ch.lossProb > 0 && ch.lossRNG != nil && ch.lossRNG.Bool(ch.lossProb)
+	if ch.lossProb > 0 && ch.lossRNG != nil && ch.lossRNG.Bool(ch.lossProb) {
+		ch.tel.Drops.Inc()
+		return true
+	}
+	return false
 }
 
 // Broadcast transmits msg from the given node to every live radio neighbor.
@@ -197,12 +221,14 @@ func (ch *Channel) Broadcast(from topology.NodeID, class Class, msg any) int {
 		return 0
 	}
 	ch.meter.countTx(from, class)
+	ch.tel.Tx.Inc()
 	heard := 0
 	for _, nb := range ch.graph.Neighbors(from) {
 		if !ch.alive[nb] || ch.dropped() {
 			continue
 		}
 		ch.meter.countRx(nb, class)
+		ch.tel.Rx.Inc()
 		heard++
 		if r := ch.receivers[nb]; r != nil {
 			r(from, msg)
@@ -233,12 +259,14 @@ func (ch *Channel) Multicast(from topology.NodeID, targets []topology.NodeID, cl
 		}
 	}
 	ch.meter.countTx(from, class)
+	ch.tel.Tx.Inc()
 	heard := 0
 	for _, to := range targets {
 		if !ch.alive[to] || ch.dropped() {
 			continue
 		}
 		ch.meter.countRx(to, class)
+		ch.tel.Rx.Inc()
 		heard++
 		if r := ch.receivers[to]; r != nil {
 			r(from, msg)
@@ -258,10 +286,12 @@ func (ch *Channel) Unicast(from, to topology.NodeID, class Class, msg any) bool 
 		panic(fmt.Sprintf("radio: unicast %d->%d without a radio link", from, to))
 	}
 	ch.meter.countTx(from, class)
+	ch.tel.Tx.Inc()
 	if !ch.alive[to] || ch.dropped() {
 		return false
 	}
 	ch.meter.countRx(to, class)
+	ch.tel.Rx.Inc()
 	if r := ch.receivers[to]; r != nil {
 		r(from, msg)
 	}

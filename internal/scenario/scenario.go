@@ -15,6 +15,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/sensordata"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -134,6 +135,16 @@ type Config struct {
 	// (script.Run does both). Typed as an interface to keep the layering
 	// acyclic; only internal/script implements it.
 	Script Dynamics `json:"-"`
+
+	// Telemetry, when non-nil, registers instruments for every layer of
+	// the built simulation (engine, radio, MAC, field generator, protocol)
+	// on the given registry. Telemetry is provably inert: counters are
+	// write-only from simulation code and consume no RNG draws, so runs
+	// with and without a registry produce byte-identical Results (enforced
+	// by telemetry_test.go). Typed as an interface and excluded from JSON
+	// so Configs stay encodable (gob rejects typed nil pointers to
+	// unexported-field structs; the fuzz oracles gob-compare Results).
+	Telemetry telemetry.Instrumenter `json:"-"`
 
 	// TraceCapacity, when positive, records the most recent protocol
 	// events (updates, deliveries, deaths, re-attachments) into a ring
@@ -415,6 +426,42 @@ func BuildWithEngine(cfg Config, engine *sim.Engine) (*Runner, error) {
 		MaxFanout:     cfg.MaxFanout,
 		MaxDepth:      cfg.MaxDepth,
 		DisableGating: cfg.DisableActivityGating,
+	}
+	if cfg.Telemetry != nil {
+		// Central wiring point for every layer's instruments: the metric
+		// name inventory lives here (and is documented in the README).
+		// Registration is idempotent, so recycled engines and restarted
+		// shards re-bind to the counters they already own.
+		reg := cfg.Telemetry
+		engine.SetTelemetry(sim.Telemetry{
+			Scheduled:  reg.Counter("dirq_engine_events_scheduled_total", "Events pushed onto the simulation heap."),
+			Dispatched: reg.Counter("dirq_engine_events_dispatched_total", "One-shot events executed."),
+			TickerRuns: reg.Counter("dirq_engine_ticker_runs_total", "Per-epoch ticker invocations."),
+			HeapPeak:   reg.Gauge("dirq_engine_heap_depth_peak", "High watermark of pending events."),
+		})
+		channel.SetTelemetry(radio.Telemetry{
+			Tx:    reg.Counter("dirq_radio_tx_total", "Physical transmissions."),
+			Rx:    reg.Counter("dirq_radio_rx_total", "Successful receptions."),
+			Drops: reg.Counter("dirq_radio_drops_total", "Receptions lost to the Bernoulli loss process."),
+		})
+		mac.SetTelemetry(lmac.Telemetry{
+			FramesFull:      reg.Counter("dirq_lmac_frames_total", "TDMA frames by kind.", telemetry.Label{Key: "kind", Value: "full"}),
+			FramesQuiet:     reg.Counter("dirq_lmac_frames_total", "TDMA frames by kind.", telemetry.Label{Key: "kind", Value: "quiet"}),
+			FramesSilent:    reg.Counter("dirq_lmac_frames_total", "TDMA frames by kind.", telemetry.Label{Key: "kind", Value: "silent"}),
+			MessagesFlushed: reg.Counter("dirq_lmac_messages_flushed_total", "Queued data messages handed to the channel."),
+		})
+		gen.SetTelemetry(sensordata.Telemetry{
+			Evals:        reg.Counter("dirq_field_evals_total", "Per-(node,type) field evaluations."),
+			SweepHits:    reg.Counter("dirq_field_sweep_hits_total", "Nodes ActiveSweep could not prove quiet."),
+			SweepRefutes: reg.Counter("dirq_field_sweep_refutations_total", "Nodes ActiveSweep proved quiet and skipped."),
+		})
+		pcfg.Telemetry = core.Telemetry{
+			Epochs:        reg.Counter("dirq_epochs_total", "Simulation epochs executed."),
+			ActiveNodes:   reg.Counter("dirq_core_active_nodes_total", "Nodes processed across all epoch worklists."),
+			ActiveSetSize: reg.Histogram("dirq_core_active_set_size", "Per-epoch worklist size.", telemetry.ExponentialBuckets(1, 2, 14)),
+			TuplesSent:    reg.Counter("dirq_core_tuples_sent_total", "Update Messages transmitted."),
+			Retunes:       reg.Counter("dirq_core_retunes_total", "Controllers accepting a RetuneAll change."),
+		}
 	}
 	var gate *sampling.Gate
 	if cfg.PredictiveSampling {

@@ -1,0 +1,57 @@
+package script
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryInertUnderScript extends the zero-drift proof to scripted
+// dynamics: node kills, regime shifts, drift, workload bursts and retunes
+// must all land identically whether or not a telemetry registry is
+// attached. Chaos paths touch the RNG streams and the event queue — the
+// two things instrumentation must never perturb.
+func TestTelemetryInertUnderScript(t *testing.T) {
+	for _, mode := range []scenario.ThresholdMode{scenario.FixedDelta, scenario.ATC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			off, err := Run(testCfg(mode), testScript())
+			if err != nil {
+				t.Fatal(err)
+			}
+			onCfg := testCfg(mode)
+			reg := telemetry.NewRegistry()
+			onCfg.Telemetry = reg
+			on, err := Run(onCfg, testScript())
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripDriver(off)
+			stripDriver(on)
+			offJSON, _ := json.Marshal(off)
+			onJSON, _ := json.Marshal(on)
+			if string(offJSON) != string(onJSON) {
+				t.Fatal("scripted results differ with telemetry attached")
+			}
+			// The instrumented run must also have recorded the chaos the
+			// script inflicted: kills force tree repairs, and the retune op
+			// lands in the retune counter.
+			var retunes, epochs float64
+			for _, s := range reg.Snapshot() {
+				switch s.Name {
+				case "dirq_core_retunes_total":
+					retunes = s.Value
+				case "dirq_epochs_total":
+					epochs = s.Value
+				}
+			}
+			if retunes <= 0 {
+				t.Errorf("dirq_core_retunes_total = %v after an OpRetune script, want > 0", retunes)
+			}
+			if epochs <= 0 {
+				t.Errorf("dirq_epochs_total = %v, want > 0", epochs)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -175,7 +176,27 @@ type Generator struct {
 	snapPlume []float64 // plume-sum component recorded at that evaluation
 	snapCum   []float64 // cumBound at that evaluation; -Inf = no usable snapshot
 	evals     uint64    // total per-(node, type) field evaluations
+
+	tel Telemetry
 }
+
+// Telemetry is the generator's instrument set. All fields may be nil (the
+// instruments are nil-safe); the counters mirror bookkeeping the generator
+// already does and never influence field evolution or RNG draws.
+type Telemetry struct {
+	// Evals counts per-(node, type) field evaluations — the expensive
+	// plume math the lazy layer tries to avoid.
+	Evals *telemetry.Counter
+	// SweepHits counts nodes ActiveSweep could NOT prove quiet (appended
+	// to the worklist).
+	SweepHits *telemetry.Counter
+	// SweepRefutes counts nodes ActiveSweep proved quiet (skipped).
+	SweepRefutes *telemetry.Counter
+}
+
+// SetTelemetry binds (or, with the zero value, unbinds) the generator's
+// instruments.
+func (g *Generator) SetTelemetry(t Telemetry) { g.tel = t }
 
 // NewGenerator builds a generator for the given node positions. The area
 // bounds are inferred from the positions. The rng should be a dedicated
@@ -426,6 +447,7 @@ func (g *Generator) eval(i int, t Type) {
 	g.values[i][t] = v
 	g.stamp[k] = g.epoch
 	g.evals++
+	g.tel.Evals.Inc()
 }
 
 // compute eagerly evaluates every node for every type (generator
@@ -463,6 +485,7 @@ func (g *Generator) ActiveSweep(t Type, lo, hi []float64, dst []int32) []int32 {
 	noise, bias := f.noise, f.bias
 	snapP := g.snapPlume[int(t)*n : int(t)*n+n]
 	snapC := g.snapCum[int(t)*n : int(t)*n+n]
+	start := len(dst)
 	for i := 0; i < n; i++ {
 		dev := cum - snapC[i]
 		c := base + noise[i] + bias[i] + snapP[i]
@@ -477,6 +500,9 @@ func (g *Generator) ActiveSweep(t Type, lo, hi []float64, dst []int32) []int32 {
 			dst = append(dst, int32(i))
 		}
 	}
+	hits := len(dst) - start
+	g.tel.SweepHits.Add(int64(hits))
+	g.tel.SweepRefutes.Add(int64(n - hits))
 	return dst
 }
 

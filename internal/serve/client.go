@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Client is a small Go client for a dirqd endpoint — the programmatic
@@ -74,6 +76,19 @@ func (c *Client) Healthz(ctx context.Context) error {
 	}
 	var reply HealthReply
 	return c.do(hreq, &reply)
+}
+
+// Metrics fetches and decodes the /metrics.json telemetry snapshot.
+func (c *Client) Metrics(ctx context.Context) ([]telemetry.SeriesSnapshot, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics.json", nil)
+	if err != nil {
+		return nil, err
+	}
+	var doc telemetry.MetricsJSON
+	if err := c.do(hreq, &doc); err != nil {
+		return nil, err
+	}
+	return doc.Metrics, nil
 }
 
 // Shards lists the hosted shards.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 )
 
@@ -23,7 +24,46 @@ type QueryRequestWire struct {
 
 // StatsReply is the JSON body of GET /stats.
 type StatsReply struct {
+	Server *ServerStats `json:"server,omitempty"`
 	Shards []ShardStats `json:"shards"`
+}
+
+// ServerStats is the process-level section of GET /stats: build identity,
+// uptime and Go runtime health.
+type ServerStats struct {
+	Version        string  `json:"version,omitempty"`
+	GoVersion      string  `json:"go_version"`
+	UptimeSeconds  float64 `json:"uptime_seconds,omitempty"`
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+}
+
+// ServerInfo parameterizes the process-level parts of the handler: the
+// ldflags-stamped build version and a wall clock for uptime (nil Now
+// omits uptime — the serving layer itself never reads wall time).
+type ServerInfo struct {
+	Version string
+	Now     func() time.Time
+}
+
+// serverStats builds the /stats server section.
+func (info ServerInfo) serverStats(started time.Time) *ServerStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := &ServerStats{
+		Version:        info.Version,
+		GoVersion:      runtime.Version(),
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+	}
+	if info.Now != nil {
+		st.UptimeSeconds = info.Now().Sub(started).Seconds()
+	}
+	return st
 }
 
 // HealthReply is the JSON body of GET /healthz.
@@ -55,11 +95,24 @@ const defaultQueryTimeout = 30 * time.Second
 
 // NewHandler exposes a Manager over HTTP:
 //
-//	POST /query    admit one range query, wait for its answer
-//	GET  /stats    live per-shard counters (accuracy, cost vs flooding)
-//	GET  /healthz  liveness of every shard loop
-//	GET  /shards   static shard descriptions
-func NewHandler(m *Manager) http.Handler {
+//	POST /query         admit one range query, wait for its answer
+//	GET  /stats         live per-shard counters plus server/runtime info
+//	GET  /healthz       liveness of every shard loop
+//	GET  /shards        static shard descriptions
+//	GET  /metrics       telemetry registry, Prometheus text format
+//	GET  /metrics.json  telemetry registry, JSON with p50/p90/p99
+//
+// The optional ServerInfo stamps /stats with a build version and uptime.
+func NewHandler(m *Manager, info ...ServerInfo) http.Handler {
+	var si ServerInfo
+	haveInfo := len(info) > 0
+	if haveInfo {
+		si = info[0]
+	}
+	var started time.Time
+	if si.Now != nil {
+		started = si.Now()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var wire QueryRequestWire
@@ -89,7 +142,22 @@ func NewHandler(m *Manager) http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, StatsReply{Shards: m.Stats()})
+		reply := StatsReply{Shards: m.Stats()}
+		if haveInfo {
+			// The server section appears only when the caller supplied
+			// ServerInfo, keeping the pre-existing wire format intact for
+			// embedders that did not.
+			reply.Server = si.serverStats(started)
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.Telemetry().WritePrometheus(w) //nolint:errcheck // client gone is not actionable
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		m.Telemetry().WriteJSON(w) //nolint:errcheck // client gone is not actionable
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		rep := HealthReply{Status: "ok", Shards: map[string]bool{}}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // ErrNoSuchShard is returned for requests naming an unknown shard.
@@ -16,6 +18,7 @@ var ErrNoSuchShard = errors.New("serve: no such shard")
 type Manager struct {
 	shards []*Shard
 	byID   map[string]*Shard
+	reg    *telemetry.Registry
 
 	rr      atomic.Uint64
 	started atomic.Bool
@@ -23,15 +26,26 @@ type Manager struct {
 	wg      sync.WaitGroup
 }
 
-// NewManager builds all shards. IDs must be unique.
+// NewManager builds all shards. IDs must be unique. Every shard whose
+// config carries no Telemetry of its own is instrumented on the manager's
+// registry (exposed via Telemetry) with a {shard="<ID>"} label — both its
+// serving instruments and, unless the scenario already has one, its
+// hosted simulation.
 func NewManager(cfgs []ShardConfig) (*Manager, error) {
 	if len(cfgs) == 0 {
 		return nil, errors.New("serve: manager needs at least one shard")
 	}
-	m := &Manager{byID: map[string]*Shard{}}
+	m := &Manager{byID: map[string]*Shard{}, reg: telemetry.NewRegistry()}
 	for _, cfg := range cfgs {
 		if _, dup := m.byID[cfg.ID]; dup {
 			return nil, fmt.Errorf("serve: duplicate shard ID %q", cfg.ID)
+		}
+		if cfg.Telemetry == nil {
+			scope := telemetry.Scoped(m.reg, telemetry.Label{Key: "shard", Value: cfg.ID})
+			cfg.Telemetry = scope
+			if cfg.Scenario.Telemetry == nil {
+				cfg.Scenario.Telemetry = scope
+			}
 		}
 		sh, err := NewShard(cfg)
 		if err != nil {
@@ -42,6 +56,10 @@ func NewManager(cfgs []ShardConfig) (*Manager, error) {
 	}
 	return m, nil
 }
+
+// Telemetry exposes the manager's metrics registry (the backing store of
+// /metrics and /metrics.json).
+func (m *Manager) Telemetry() *telemetry.Registry { return m.reg }
 
 // Start launches every shard's scheduler loop. The shards serve until
 // ctx is canceled or Stop is called. Every shard is claimed before

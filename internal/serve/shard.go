@@ -15,6 +15,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/script"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ErrShuttingDown is returned for queries caught by a shard shutdown.
@@ -55,6 +56,16 @@ type ShardConfig struct {
 	// workload here. Applied events are recorded in the admission log, so
 	// Replay reproduces a chaos shard's responses exactly.
 	Chaos []script.Event
+	// Telemetry, when non-nil, registers the shard's serving instruments
+	// (admissions, latency histogram, queue depth, chaos events) on the
+	// given registry. Pass a telemetry.Scoped view to label the series
+	// per shard. Independent of Scenario.Telemetry, which instruments the
+	// hosted simulation itself.
+	Telemetry telemetry.Instrumenter
+	// Clock returns wall time in nanoseconds, used only for the query
+	// latency histogram; nil disables latency observation. Injected by
+	// the cmd layer — nothing inside the simulation may read wall time.
+	Clock func() int64
 }
 
 // withDefaults fills unset knobs.
@@ -121,6 +132,22 @@ type Shard struct {
 	aggShouldPct    float64
 	aggReceivedPct  float64
 	aggOvershootPct float64
+
+	tel shardTelemetry
+}
+
+// shardTelemetry holds the shard's serving instruments. The zero value
+// disables them all (every instrument is nil-safe); none of them feeds
+// back into admission, stepping or resolution, so an instrumented shard
+// answers byte-identically to a bare one.
+type shardTelemetry struct {
+	admitted   *telemetry.Counter
+	served     *telemetry.Counter
+	failed     *telemetry.Counter
+	chaos      *telemetry.Counter
+	latency    *telemetry.Histogram
+	queueDepth *telemetry.Gauge
+	inflight   *telemetry.Gauge
 }
 
 // NewShard builds (but does not start) a shard. The scenario's workload
@@ -148,13 +175,26 @@ func NewShardWithEngine(cfg ShardConfig, engine *sim.Engine) (*Shard, error) {
 		return nil, fmt.Errorf("serve: shard %q: %w", cfg.ID, err)
 	}
 	runner.Start()
-	return &Shard{
+	sh := &Shard{
 		cfg:    cfg,
 		admit:  make(chan *pendingQuery, cfg.QueueDepth),
 		done:   make(chan struct{}),
 		runner: runner,
 		chaos:  chaos,
-	}, nil
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		sh.tel = shardTelemetry{
+			admitted: reg.Counter("dirq_serve_queries_admitted_total", "Queries admitted into the simulation."),
+			served:   reg.Counter("dirq_serve_queries_served_total", "Queries answered."),
+			failed:   reg.Counter("dirq_serve_query_failures_total", "Submissions that returned an error."),
+			chaos:    reg.Counter("dirq_serve_chaos_events_total", "Chaos events applied."),
+			latency: reg.Histogram("dirq_serve_query_latency_seconds",
+				"Wall-clock submit-to-answer latency.", telemetry.LatencyBuckets()),
+			queueDepth: reg.Gauge("dirq_serve_admission_queue_depth", "Queries drained per scheduler pass."),
+			inflight:   reg.Gauge("dirq_serve_inflight_queries", "Admitted queries inside their settle window."),
+		}
+	}
+	return sh, nil
 }
 
 // expandChaos validates and flattens a chaos timeline: runner ops only
@@ -205,6 +245,21 @@ func (s *Shard) ChaosEvents() int { return len(s.chaos) }
 // Submit queues one query and blocks until it is answered, the context
 // is canceled, or the shard shuts down.
 func (s *Shard) Submit(ctx context.Context, req Request) (*Response, error) {
+	var start int64
+	if s.cfg.Clock != nil {
+		start = s.cfg.Clock()
+	}
+	resp, err := s.submit(ctx, req)
+	if s.cfg.Clock != nil {
+		s.tel.latency.Observe(float64(s.cfg.Clock()-start) / 1e9)
+	}
+	if err != nil {
+		s.tel.failed.Inc()
+	}
+	return resp, err
+}
+
+func (s *Shard) submit(ctx context.Context, req Request) (*Response, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -263,6 +318,7 @@ func (s *Shard) run(ctx context.Context) {
 			}
 		}
 
+		s.tel.queueDepth.Set(int64(len(batch)))
 		s.mu.Lock()
 		// Admit the batch at the current epoch boundary.
 		for _, pq := range batch {
@@ -306,6 +362,7 @@ func (s *Shard) run(ctx context.Context) {
 			}
 		}
 		pending = kept
+		s.tel.inflight.Set(int64(len(pending)))
 		s.applyChaosLocked(now)
 		s.mu.Unlock()
 
@@ -357,6 +414,7 @@ func (s *Shard) injectLocked(req Request) (*inflight, error) {
 	s.admitted = append(s.admitted, AdmittedQuery{
 		Epoch: epoch, Type: req.Type, Lo: req.Lo, Hi: req.Hi,
 	})
+	s.tel.admitted.Inc()
 	deadline := epoch + s.cfg.SettleEpochs
 	if deadline > s.cfg.Scenario.Epochs {
 		deadline = s.cfg.Scenario.Epochs
@@ -384,6 +442,7 @@ func (s *Shard) applyChaosLocked(now int64) {
 		e := resolved
 		s.admitted = append(s.admitted, AdmittedQuery{Epoch: now, Event: &e})
 		s.chaosApplied++
+		s.tel.chaos.Inc()
 	}
 }
 
@@ -408,6 +467,7 @@ func (s *Shard) resolveLocked(f *inflight) *Response {
 	n := s.runner.Graph.Len()
 	acc, matched, sources := evalRecord(f.rec, n)
 	s.served++
+	s.tel.served.Inc()
 	s.aggShouldPct += metrics.Pct(acc.Should, n)
 	s.aggReceivedPct += metrics.Pct(acc.Received, n)
 	s.aggOvershootPct += acc.OvershootPct
@@ -555,6 +615,7 @@ func (s *Shard) Replay(log []AdmittedQuery) ([]*Response, error) {
 				}
 				s.admitted = append(s.admitted, AdmittedQuery{Epoch: now, Event: e.Event})
 				s.chaosApplied++
+				s.tel.chaos.Inc()
 				i++
 				continue
 			}

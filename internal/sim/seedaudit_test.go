@@ -18,8 +18,10 @@ import (
 //   - no file imports math/rand or math/rand/v2, anywhere — sim.RNG is
 //     the only generator;
 //   - no non-test library file calls time.Now; wall-clock reads are
-//     confined to package main under cmd/ (timestamps in CLI output) and
-//     to tests. Library code that needs a deadline takes a context.
+//     confined to package main under cmd/ and examples/ (timestamps and
+//     latency clocks in CLI output) and to tests. Library code that
+//     needs a deadline takes a context; code that needs a latency clock
+//     takes an injected func (serve.ShardConfig.Clock).
 func TestNoAmbientRandomness(t *testing.T) {
 	root := moduleRoot(t)
 	fset := token.NewFileSet()
@@ -55,7 +57,8 @@ func TestNoAmbientRandomness(t *testing.T) {
 		if strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
-		if f.Name.Name == "main" && strings.HasPrefix(rel, "cmd"+string(filepath.Separator)) {
+		if sep := string(filepath.Separator); f.Name.Name == "main" &&
+			(strings.HasPrefix(rel, "cmd"+sep) || strings.HasPrefix(rel, "examples"+sep)) {
 			return nil
 		}
 		timeName := importName(f, "time")

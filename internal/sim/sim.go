@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Time is the simulation clock in discrete ticks. One tick corresponds to
 // one epoch in the paper's terminology (one sensor acquisition interval).
@@ -62,7 +66,31 @@ type Engine struct {
 	stopped bool
 	steps   uint64
 	running bool // inside runAt (AddTicker must not reshuffle mid-tick)
+	tel     Telemetry
 }
+
+// Telemetry is the engine's instrument set. Every field may be nil
+// (instrument methods are nil-safe no-ops), so the zero value disables
+// instrumentation entirely. Counters are write-only from the engine:
+// nothing in scheduling or dispatch reads them back, so an instrumented
+// run executes the identical event sequence.
+type Telemetry struct {
+	// Scheduled counts events enqueued via Schedule/SchedulePrio.
+	Scheduled *telemetry.Counter
+	// Dispatched counts heap events actually executed (canceled events
+	// are not dispatched).
+	Dispatched *telemetry.Counter
+	// TickerRuns counts ticker firings (the per-epoch protocol and MAC
+	// loops, which bypass the heap).
+	TickerRuns *telemetry.Counter
+	// HeapPeak tracks the high watermark of the event heap depth.
+	HeapPeak *telemetry.Gauge
+}
+
+// SetTelemetry binds (or, with the zero value, unbinds) the engine's
+// instruments. Reset clears the binding, so a recycled engine must be
+// re-bound by its next owner.
+func (e *Engine) SetTelemetry(t Telemetry) { e.tel = t }
 
 // NewEngine returns an engine with the clock at 0 and an empty queue.
 func NewEngine() *Engine {
@@ -98,6 +126,7 @@ func (e *Engine) Reset() {
 	e.steps = 0
 	e.stopped = false
 	e.running = false
+	e.tel = Telemetry{}
 }
 
 // AddTicker registers fn to run at every clock tick from the current time
@@ -232,6 +261,8 @@ func (e *Engine) SchedulePrio(at Time, priority int, fn Handler) EventID {
 	e.seq++
 	e.heap = append(e.heap, idx)
 	e.siftUp(len(e.heap) - 1)
+	e.tel.Scheduled.Inc()
+	e.tel.HeapPeak.SetMax(int64(len(e.heap)))
 	return EventID{idx: idx + 1, gen: ev.gen}
 }
 
@@ -285,6 +316,7 @@ func (e *Engine) Step() bool {
 		e.release(idx)
 		e.now = at
 		e.steps++
+		e.tel.Dispatched.Inc()
 		fn()
 		return true
 	}
@@ -317,6 +349,7 @@ func (e *Engine) runAt(t Time) {
 			tk.next = t + 1
 			ti++
 			e.steps++
+			e.tel.TickerRuns.Inc()
 			tk.fn()
 		case headReady:
 			e.Step()

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketCount is one cumulative histogram bucket in a snapshot: the count
+// of samples <= LE.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// SeriesSnapshot is one metric series at a point in time — the wire form
+// of /metrics.json, decodable by clients (serve.Client.Metrics).
+type SeriesSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	// Value is the current value of a counter or gauge.
+	Value float64 `json:"value"`
+
+	// Histogram fields. Buckets are cumulative; the last is the +Inf
+	// bucket (encoded as JSON null LE is impossible, so +Inf is
+	// represented by math.MaxFloat64 on the wire — see infOnWire).
+	Count   int64         `json:"count,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+	P50     float64       `json:"p50,omitempty"`
+	P90     float64       `json:"p90,omitempty"`
+	P99     float64       `json:"p99,omitempty"`
+}
+
+// infOnWire stands in for +Inf in JSON bucket bounds (JSON has no
+// infinity literal).
+const infOnWire = math.MaxFloat64
+
+// Quantile estimates the q-quantile (0 < q < 1) of a histogram snapshot
+// by linear interpolation inside the containing bucket. The overflow
+// bucket yields its lower bound (the last finite LE). Returns 0 with no
+// samples.
+func (s SeriesSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	lower := 0.0
+	prev := int64(0)
+	for i, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			le := b.LE
+			if le >= infOnWire || math.IsInf(le, +1) {
+				return lower // overflow bucket: no finite upper bound
+			}
+			in := b.Count - prev
+			if in <= 0 {
+				return le
+			}
+			if i == 0 {
+				lower = 0
+			}
+			return lower + (le-lower)*(rank-float64(prev))/float64(in)
+		}
+		if !math.IsInf(b.LE, +1) && b.LE < infOnWire {
+			lower = b.LE
+		}
+		prev = b.Count
+	}
+	return lower
+}
+
+// snapshotLocked captures one series. Callers hold r.mu.
+func (s *series) snapshot() SeriesSnapshot {
+	out := SeriesSnapshot{Name: s.name, Kind: s.kind, Help: s.help}
+	if len(s.labels) > 0 {
+		out.Labels = make(map[string]string, len(s.labels))
+		for _, l := range s.labels {
+			out.Labels[l.Key] = l.Value
+		}
+	}
+	switch s.kind {
+	case KindCounter:
+		out.Value = float64(s.counter.Value())
+	case KindGauge:
+		out.Value = float64(s.gauge.Value())
+	case KindHistogram:
+		h := s.hist
+		out.Sum = h.Sum()
+		cum := int64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := infOnWire
+			if i < len(h.bounds) {
+				le = h.bounds[i]
+			}
+			out.Buckets = append(out.Buckets, BucketCount{LE: le, Count: cum})
+		}
+		// The cumulative +Inf bucket is the authoritative count: buckets
+		// are read before the count field would be, so a racing Observe
+		// can never yield count > buckets.
+		out.Count = cum
+		out.P50 = out.Quantile(0.50)
+		out.P90 = out.Quantile(0.90)
+		out.P99 = out.Quantile(0.99)
+	}
+	return out
+}
+
+// Snapshot captures every registered series, sorted by (name, labels) so
+// output is deterministic however registration interleaved.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SeriesSnapshot, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}
+
+// labelString renders a label map as sorted k="v" pairs.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the Prometheus text format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value in Prometheus text form.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1) || v >= infOnWire:
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLine writes one sample line, merging extra labels into the series
+// labels.
+func promLine(w io.Writer, name string, labels map[string]string, extraK, extraV, value string) error {
+	ls := labelString(labels)
+	if extraK != "" {
+		pair := extraK + `="` + escapeLabel(extraV) + `"`
+		if ls == "" {
+			ls = pair
+		} else {
+			ls += "," + pair
+		}
+	}
+	if ls != "" {
+		ls = "{" + ls + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, ls, value)
+	return err
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per metric family, then
+// the family's series sorted by labels. Histograms expand to _bucket
+// (cumulative, with le), _sum and _count lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshot()
+	lastFamily := ""
+	for _, s := range snaps {
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				if err := promLine(w, s.Name+"_bucket", s.Labels, "le", formatFloat(b.LE),
+					strconv.FormatInt(b.Count, 10)); err != nil {
+					return err
+				}
+			}
+			if err := promLine(w, s.Name+"_sum", s.Labels, "", "", formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			if err := promLine(w, s.Name+"_count", s.Labels, "", "",
+				strconv.FormatInt(s.Count, 10)); err != nil {
+				return err
+			}
+		default:
+			if err := promLine(w, s.Name, s.Labels, "", "", formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MetricsJSON is the top-level document of /metrics.json.
+type MetricsJSON struct {
+	Metrics []SeriesSnapshot `json:"metrics"`
+}
+
+// WriteJSON renders every series as one indented JSON document
+// ({"metrics": [...]}), sorted like Snapshot, with estimated p50/p90/p99
+// on histograms.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(MetricsJSON{Metrics: r.Snapshot()})
+}
