@@ -8,10 +8,13 @@
 //     fixed-δ, ATC and the flooding baseline) and experiment regenerations
 //     (fig6, headline table), reporting throughput as epochs/sec and
 //     simulated node-epochs/sec alongside ns/op and allocs/op;
-//   - scale: the large-N frontier — fixed-δ runs at 50/250/1000/5000 nodes
-//     with epochs shrunk in proportion (constant node-epochs per point),
-//     plus an ungated ("naive") sibling at 1000 nodes whose ratio to the
-//     gated run is the activity-gating speedup;
+//   - scale: the large-N frontier — fixed-δ runs at 50 through 100 000
+//     nodes with epochs shrunk in proportion (constant node-epochs per
+//     point), plus an ungated ("naive") sibling at 1000 nodes whose ratio
+//     to the gated run is the activity-gating speedup, and sharded ("-s4")
+//     siblings at 5000+ nodes whose ratio to the serial run is the
+//     intra-run sharding speedup (or, on a single-core host, its merge
+//     overhead);
 //   - substrate micro-benches: event-queue schedule/dispatch, radio
 //     broadcast, one LMAC TDMA frame, range-table observation, and the
 //     amortized cost of one full-stack scenario epoch.
@@ -139,15 +142,18 @@ func scale(quick bool) (nodes int, epochs int64) {
 // so every point simulates the same number of node-epochs (1M full scale,
 // 150k quick) and the column stays comparable.
 var scalePoints = []struct {
-	nodes        int
-	epochs       int64
-	quickEpochs  int64
-	includeNaive bool
+	nodes          int
+	epochs         int64
+	quickEpochs    int64
+	includeNaive   bool
+	includeSharded bool // add a Shards=4 sibling ("-s4")
 }{
 	{nodes: 50, epochs: 20000, quickEpochs: 3000},
 	{nodes: 250, epochs: 4000, quickEpochs: 600},
 	{nodes: 1000, epochs: 1000, quickEpochs: 150, includeNaive: true},
-	{nodes: 5000, epochs: 200, quickEpochs: 30},
+	{nodes: 5000, epochs: 200, quickEpochs: 30, includeSharded: true},
+	{nodes: 25000, epochs: 40, quickEpochs: 6, includeSharded: true},
+	{nodes: 100000, epochs: 10, quickEpochs: 2, includeSharded: true},
 }
 
 // scaleScenario builds one large-N workload config: constant node density
@@ -255,6 +261,21 @@ func specs(quick bool) []spec {
 				nodes: sp.nodes, epochs: ep,
 				fn:   func(b *testing.B) { runScale(b, ncfg) },
 				snap: func() (map[string]int64, error) { return telemetrySnapshot(ncfg) },
+			})
+		}
+		if sp.includeSharded {
+			scfg := scaleScenario(sp.nodes, ep, false)
+			scfg.Shards = 4
+			scaleSpecs = append(scaleSpecs, spec{
+				// The 4-shard engine at the same scale: byte-identical
+				// output, so the ratio to its serial sibling is purely the
+				// intra-run sharding speedup (multi-core) or merge overhead
+				// (single-core). PERFORMANCE.md "Sharding" documents how to
+				// read these entries.
+				name: fmt.Sprintf("scale/fixed-%d-s4", sp.nodes), group: "scale",
+				nodes: sp.nodes, epochs: ep,
+				fn:   func(b *testing.B) { runScale(b, scfg) },
+				snap: func() (map[string]int64, error) { return telemetrySnapshot(scfg) },
 			})
 		}
 	}

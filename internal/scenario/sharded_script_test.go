@@ -1,0 +1,75 @@
+// Scripted-chaos corner of the sharded equivalence matrix. This lives in
+// an external test package because the script Player (the chaos driver)
+// imports scenario; the rest of the matrix is in sharded_test.go.
+package scenario_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/script"
+)
+
+// chaosScript is a timeline that exercises every runner-facing op while a
+// sharded engine is stepping: kills (tree repair re-partitions nothing —
+// the shard map is fixed at build time, dead nodes just stop matching),
+// a cascade, field regime shifts, volatility drift, controller retuning,
+// and workload bursts.
+func chaosScript() *script.Script {
+	return &script.Script{
+		Name: "sharded-chaos",
+		Events: []script.Event{
+			{At: 150, Op: script.OpShift, Type: "temperature", Delta: 4},
+			{At: 220, Op: script.OpKill},
+			{At: 300, Op: script.OpBurst, Interval: 15},
+			{At: 360, Op: script.OpDrift, Scale: 2.5},
+			{At: 450, Op: script.OpCascade, Count: 3, Spacing: 5},
+			{At: 600, Op: script.OpRetune, Delta: 7},
+			{At: 700, Op: script.OpCoverage, Coverage: 0.8},
+			{At: 780, Op: script.OpShift, Type: "light", Delta: -60},
+		},
+	}
+}
+
+// runScriptedShards executes the chaos script with the given shard count
+// and returns the gob-encoded Result+Report bundle, with the Shards knob
+// and driver handle normalized out of the encoding.
+func runScriptedShards(t *testing.T, shards int) []byte {
+	t.Helper()
+	p, err := script.NewPlayer(chaosScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scenario.Default()
+	cfg.Epochs = 1000
+	cfg.DisableWorkload = true
+	cfg.Script = p
+	cfg.Shards = shards
+	r, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	res.Config.Script = nil
+	res.Config.Shards = 0
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&script.Result{Result: res, Report: p.Report()}); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedScriptedChaosEquivalence pins sharded == serial under the
+// chaos timeline: script ops mutate the runner serially between steps, so
+// the sharded epochs in between must still reproduce the serial run bit
+// for bit across kills, cascades, shifts, drift, and retuning.
+func TestShardedScriptedChaosEquivalence(t *testing.T) {
+	want := runScriptedShards(t, 0)
+	for _, k := range []int{2, 4, 7} {
+		if got := runScriptedShards(t, k); !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d scripted-chaos run diverged from serial", k)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package scenario
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// shardCounts is the shard-count matrix every equivalence corner runs
+// against: an even split, the bench default, and a prime that cannot
+// divide the node count evenly.
+var shardCounts = []int{2, 4, 7}
+
+// shardedVsSerial runs the same configuration serially and with each
+// shard count and requires byte-identical Results. Sharding is a pure
+// scheduling change — the partition, merge order, and per-node arithmetic
+// are all fixed by (topology, K) — so any divergence is a determinism bug,
+// not tolerable noise.
+func shardedVsSerial(t *testing.T, cfg Config) {
+	t.Helper()
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gobBytes(t, serial)
+	for _, k := range shardCounts {
+		scfg := cfg
+		scfg.Shards = k
+		sharded, err := Run(scfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		// The knob itself is part of Config (inside Result); blank it so
+		// the comparison covers everything else.
+		sharded.Config.Shards = 0
+		if got := gobBytes(t, sharded); !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d diverged from serial\nserial:  %+v\nsharded: %+v",
+				k, serial.Summary, sharded.Summary)
+		}
+	}
+}
+
+// TestShardedSerialEquivalencePaperScale pins sharded == serial at the
+// paper's 50-node scale for every threshold mode, the flooding baseline,
+// heterogeneous lossy radios, and a node-death (energy) run — the same
+// corner set gated_test.go proves for the activity gate.
+func TestShardedSerialEquivalencePaperScale(t *testing.T) {
+	base := Default()
+	base.Epochs = 1200
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"fixed", func(c *Config) {}},
+		{"atc", func(c *Config) { c.Mode = ATC }},
+		{"static", func(c *Config) { c.Mode = StaticIndex }},
+		{"flood", func(c *Config) { c.DisseminateByFlooding = true }},
+		{"hetero-loss", func(c *Config) { c.Heterogeneous = true; c.PacketLoss = 0.05 }},
+		{"energy-deaths", func(c *Config) { c.EnergyCapacity = 1500 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			shardedVsSerial(t, cfg)
+		})
+	}
+}
+
+// TestShardedSerialEquivalenceLargeN is the scale-frontier guard: at 1000
+// nodes the sharded loop must still reproduce the serial loop bit for bit.
+func TestShardedSerialEquivalenceLargeN(t *testing.T) {
+	cfg := ScaleDefault(1000)
+	cfg.Epochs = 250
+	shardedVsSerial(t, cfg)
+}
+
+// TestShardedStepEquivalence checks that sharding composes with the
+// incremental Start/Step driver: a sharded run driven in ragged chunks is
+// byte-identical to the monolithic serial Run.
+func TestShardedStepEquivalence(t *testing.T) {
+	for _, mode := range []ThresholdMode{FixedDelta, ATC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := stepTestConfig(mode)
+
+			serial, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg.Shards = 4
+			r, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Start()
+			steps := []int64{7, 1, 93, 13}
+			for i := 0; !r.Done(); i++ {
+				if adv := r.Step(steps[i%len(steps)]); adv == 0 && !r.Done() {
+					t.Fatalf("Step advanced 0 epochs before the horizon (epoch %d)", r.Epoch())
+				}
+			}
+			stepped := r.Snapshot()
+			stepped.Config.Shards = 0
+			if !bytes.Equal(gobBytes(t, serial), gobBytes(t, stepped)) {
+				t.Fatalf("sharded stepped run diverged from serial Run\nserial:  %+v\nsharded: %+v",
+					serial.Summary, stepped.Summary)
+			}
+		})
+	}
+}
+
+// TestShardedAutoResolve checks the Shards=-1 auto knob: it must stay
+// serial below the auto threshold and never exceed GOMAXPROCS or the cap,
+// and an auto-resolved run must still match serial output.
+func TestShardedAutoResolve(t *testing.T) {
+	small := Default()
+	small.Shards = -1
+	if got := resolveShards(small); got != 1 {
+		t.Fatalf("auto shards at %d nodes resolved to %d, want 1 (serial)", small.NumNodes, got)
+	}
+	big := ScaleDefault(1000)
+	big.Shards = -1
+	got := resolveShards(big)
+	if got < 1 || got > 8 || got > runtime.GOMAXPROCS(0) {
+		t.Fatalf("auto shards at 1000 nodes resolved to %d (GOMAXPROCS %d)", got, runtime.GOMAXPROCS(0))
+	}
+
+	cfg := ScaleDefault(600)
+	cfg.Epochs = 120
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = -1
+	auto, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto.Config.Shards = 0
+	if !bytes.Equal(gobBytes(t, serial), gobBytes(t, auto)) {
+		t.Fatal("auto-sharded run diverged from serial")
+	}
+}
+
+// TestShardedLeavesNoGoroutines asserts the Runner tears down clean: the
+// shard workers are fork-join per call, so no goroutine may outlive the
+// run.
+func TestShardedLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := Default()
+	cfg.Epochs = 400
+	cfg.Shards = 7
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before sharded run, %d still running after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardedSteadyStateAllocs pins the sharded engine's per-epoch
+// steady-state allocation ceiling. The fork-join workers spawn fresh
+// goroutines each phase (two phases per epoch), which is the deliberate
+// price of leak-free teardown; everything else — worklists, staged dirty
+// lists, message pools — must reuse its buffers. A jump here means a
+// per-epoch buffer started escaping.
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	cfg := Default()
+	cfg.Epochs = 1 << 20 // open horizon: the test only steps a slice of it
+	cfg.DisableWorkload = true
+	cfg.Shards = 4
+	r, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	r.Step(300) // warm-up: pools filled, buffers at steady-state size
+
+	const ceiling = 64.0
+	avg := testing.AllocsPerRun(200, func() { r.Step(1) })
+	if avg > ceiling {
+		t.Fatalf("sharded epoch allocates %.1f objects/epoch at steady state, ceiling %.0f", avg, ceiling)
+	}
+}

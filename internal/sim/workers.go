@@ -1,0 +1,55 @@
+package sim
+
+import "sync"
+
+// Workers is a fork-join helper for intra-run parallelism: Run fans a
+// fixed number of tasks out across goroutines and blocks until every
+// task returns. Goroutines are spawned per call and joined before Run
+// returns, so a Runner holding a Workers owns no background goroutines
+// between epochs — teardown is trivially leak-free.
+//
+// A nil *Workers (or one built with n <= 1) degrades to a plain serial
+// loop, so callers can thread one pointer through unconditionally.
+type Workers struct {
+	n int
+}
+
+// NewWorkers returns a Workers that fans out across up to n goroutines.
+// n <= 1 yields a serial Workers.
+func NewWorkers(n int) *Workers {
+	if n < 1 {
+		n = 1
+	}
+	return &Workers{n: n}
+}
+
+// Count reports the fan-out width. A nil Workers counts as 1 (serial).
+func (w *Workers) Count() int {
+	if w == nil || w.n < 1 {
+		return 1
+	}
+	return w.n
+}
+
+// Run invokes fn(task) for every task in [0, tasks), concurrently when
+// the Workers is parallel, and returns once all invocations finish.
+// Task 0 always runs on the calling goroutine. fn must not assume any
+// ordering between tasks.
+func (w *Workers) Run(tasks int, fn func(task int)) {
+	if w == nil || w.n <= 1 || tasks <= 1 {
+		for t := 0; t < tasks; t++ {
+			fn(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(tasks - 1)
+	for t := 1; t < tasks; t++ {
+		go func(t int) {
+			defer wg.Done()
+			fn(t)
+		}(t)
+	}
+	fn(0)
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNilAndSerial(t *testing.T) {
+	var nilW *Workers
+	if got := nilW.Count(); got != 1 {
+		t.Fatalf("nil Workers Count = %d, want 1", got)
+	}
+	ran := make([]bool, 5)
+	nilW.Run(len(ran), func(task int) { ran[task] = true })
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("nil Workers skipped task %d", i)
+		}
+	}
+
+	for _, n := range []int{-3, 0, 1} {
+		w := NewWorkers(n)
+		if got := w.Count(); got != 1 {
+			t.Fatalf("NewWorkers(%d).Count() = %d, want 1", n, got)
+		}
+	}
+}
+
+func TestWorkersRunsEveryTaskExactlyOnce(t *testing.T) {
+	w := NewWorkers(4)
+	if got := w.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	const tasks = 37
+	var counts [tasks]int32
+	w.Run(tasks, func(task int) { atomic.AddInt32(&counts[task], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, c)
+		}
+	}
+}
+
+func TestWorkersZeroTasks(t *testing.T) {
+	w := NewWorkers(4)
+	called := false
+	w.Run(0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with zero tasks")
+	}
+}
+
+func TestWorkersLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := NewWorkers(8)
+	for i := 0; i < 50; i++ {
+		w.Run(8, func(int) {})
+	}
+	// Give any stragglers a moment to show up before asserting.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

@@ -147,13 +147,40 @@ func removeSorted(s []NodeID, v NodeID) []NodeID {
 }
 
 // ConnectUnitDisk adds an edge between every pair of nodes within radio
-// range r of each other.
+// range r of each other. Nodes are hashed into r×r grid cells so each
+// node only examines its 3×3 cell neighborhood — O(N + edges) for
+// bounded densities instead of the all-pairs O(N²), which is what makes
+// 100k-node placement tractable. The edge set is exactly the all-pairs
+// one, and sorted adjacency insertion makes the resulting graph
+// independent of discovery order.
 func (g *Graph) ConnectUnitDisk(r float64) {
-	for a := 0; a < len(g.pos); a++ {
-		for b := a + 1; b < len(g.pos); b++ {
-			if g.pos[a].Dist(g.pos[b]) <= r && !g.HasEdge(NodeID(a), NodeID(b)) {
-				// Safe: bounds checked, no self-loop, no duplicate.
-				_ = g.AddEdge(NodeID(a), NodeID(b))
+	n := len(g.pos)
+	if n < 2 || r <= 0 {
+		return
+	}
+	type cell struct{ x, y int }
+	key := func(p Position) cell {
+		return cell{int(math.Floor(p.X / r)), int(math.Floor(p.Y / r))}
+	}
+	buckets := make(map[cell][]NodeID, n)
+	for i := 0; i < n; i++ {
+		c := key(g.pos[i])
+		buckets[c] = append(buckets[c], NodeID(i))
+	}
+	for a := 0; a < n; a++ {
+		pa := g.pos[a]
+		ca := key(pa)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, b := range buckets[cell{ca.x + dx, ca.y + dy}] {
+					if int(b) <= a {
+						continue
+					}
+					if pa.Dist(g.pos[b]) <= r && !g.HasEdge(NodeID(a), b) {
+						// Safe: bounds checked, no self-loop, no duplicate.
+						_ = g.AddEdge(NodeID(a), b)
+					}
+				}
 			}
 		}
 	}

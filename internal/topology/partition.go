@@ -1,0 +1,81 @@
+package topology
+
+import "sort"
+
+// PartitionSubtrees carves the tree into k shards of near-equal node
+// count, keeping each shard a union of whole subtrees. It returns a
+// per-node shard index for every id in [0, n): the root always lands on
+// shard 0, every other tree node inherits its subtree unit's shard, and
+// nodes outside the tree get id % k (so late joiners have a stable home).
+//
+// The assignment is a pure function of (tree structure, n, k): unit
+// discovery walks sorted child lists, oversized units split
+// deterministically, and the greedy bin-pack breaks every tie toward the
+// lower unit root / lower shard index. Calling it twice on equal trees
+// yields equal slices.
+func PartitionSubtrees(t *Tree, n, k int) []int32 {
+	assign := make([]int32, n)
+	if k <= 1 {
+		return assign
+	}
+	for id := range assign {
+		assign[id] = int32(id % k)
+	}
+
+	// Target unit size: no unit may exceed ceil(len/k), or one shard
+	// would dominate no matter how the rest are packed.
+	maxUnit := (t.Len() + k - 1) / k
+
+	type unit struct {
+		root NodeID
+		size int
+	}
+	var units []unit
+	singleton := make(map[NodeID]bool)
+
+	// Candidate units start as the root's child subtrees. An oversized
+	// candidate is split: its root becomes a singleton unit and each of
+	// its (sorted) children becomes a new candidate.
+	queue := append([]NodeID(nil), t.Children(t.root)...)
+	for i := 0; i < len(queue); i++ {
+		c := queue[i]
+		size := len(t.Subtree(c))
+		if size > maxUnit && len(t.Children(c)) > 0 {
+			singleton[c] = true
+			units = append(units, unit{root: c, size: 1})
+			queue = append(queue, t.Children(c)...)
+			continue
+		}
+		units = append(units, unit{root: c, size: size})
+	}
+
+	// Longest-processing-time bin-pack: biggest unit first onto the
+	// least-loaded shard. The root is pinned to shard 0 and counts
+	// toward its load.
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].size != units[j].size {
+			return units[i].size > units[j].size
+		}
+		return units[i].root < units[j].root
+	})
+	load := make([]int, k)
+	load[0] = 1 // the root
+	assign[t.root] = 0
+	for _, u := range units {
+		best := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		load[best] += u.size
+		if singleton[u.root] {
+			assign[u.root] = int32(best)
+			continue
+		}
+		for _, id := range t.Subtree(u.root) {
+			assign[id] = int32(best)
+		}
+	}
+	return assign
+}
