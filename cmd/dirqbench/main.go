@@ -2,7 +2,7 @@
 // results as a machine-readable BENCH_<rev>.json, so the project's
 // performance trajectory is data rather than anecdote.
 //
-// It runs three kinds of benchmarks:
+// It runs four kinds of benchmarks:
 //
 //   - workloads: complete simulation runs (the paper's headline setup under
 //     fixed-δ, ATC and the flooding baseline) and experiment regenerations
@@ -15,6 +15,10 @@
 //     siblings at 5000+ nodes whose ratio to the serial run is the
 //     intra-run sharding speedup (or, on a single-core host, its merge
 //     overhead);
+//   - qps: the query-path throughput frontier — concurrent in-process
+//     clients against a live serve.Manager across a (shards ×
+//     settle-window × clients) grid, recording queries/sec, p50/p99
+//     submit-to-answer latency, and error/shed counts (see qps.go);
 //   - substrate micro-benches: event-queue schedule/dispatch, radio
 //     broadcast, one LMAC TDMA frame, range-table observation, and the
 //     amortized cost of one full-stack scenario epoch.
@@ -35,11 +39,13 @@
 // it loads the baseline, obtains a candidate (the positional file if
 // given, otherwise a fresh measurement at the baseline's own scale), and
 // compares epochs/sec for every workload and scale benchmark present in
-// both at the same nodes/epochs scale. If any regresses by more than
-// -tolerance (fractional, default 0.30) — or nothing is comparable — the
-// exit status is nonzero. Substrate micro-benches are reported for
-// context but do not gate: they are too fast to be stable across CI
-// hardware.
+// both at the same nodes/epochs scale, plus — for qps/ grid points at
+// identical (shards, settle, clients) coordinates — a qps floor and a
+// p99-latency ceiling derived from the same tolerance. If anything
+// regresses by more than -tolerance (fractional, default 0.30) — or
+// nothing is comparable — the exit status is nonzero. Substrate
+// micro-benches are reported for context but do not gate: they are too
+// fast to be stable across CI hardware.
 //
 // Each benchmark executes -n times through testing.Benchmark; the fastest
 // run is reported, with its own allocation stats (ns/op, bytes/op and
@@ -83,13 +89,18 @@ const SchemaID = "dirq/bench/v1"
 
 // File is the top-level BENCH_*.json document.
 type File struct {
-	Schema     string  `json:"schema"`
-	Rev        string  `json:"rev"`
-	Timestamp  string  `json:"timestamp"` // RFC 3339, UTC
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	CPUs       int     `json:"cpus"`
+	Schema    string `json:"schema"`
+	Rev       string `json:"rev"`
+	Timestamp string `json:"timestamp"` // RFC 3339, UTC
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GoMaxProcs is runtime.GOMAXPROCS(0) at measurement time, alongside
+	// CPUs (the host's runtime.NumCPU): together they make multi-core
+	// claims — e.g. the ≥2.5x s4-vs-serial sharding target — checkable
+	// from the artifact alone. Absent in files written before rev pr9.
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
 	Quick      bool    `json:"quick"`
 	Iterations int     `json:"iterations"`
 	Benchmarks []Entry `json:"benchmarks"`
@@ -100,7 +111,7 @@ type File struct {
 // a network over time.
 type Entry struct {
 	Name        string  `json:"name"`
-	Group       string  `json:"group"` // "workload", "scale" or "micro"
+	Group       string  `json:"group"` // "workload", "scale", "qps" or "micro"
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -110,6 +121,20 @@ type Entry struct {
 	Epochs           int64   `json:"epochs,omitempty"`
 	EpochsPerSec     float64 `json:"epochs_per_sec,omitempty"`
 	NodeEpochsPerSec float64 `json:"node_epochs_per_sec,omitempty"`
+
+	// Query-path fields, present only for the qps/ group: the grid
+	// coordinates (Shards × SettleEpochs × Clients), answered queries
+	// per second of wall time, submit-to-answer latency percentiles, and
+	// how many submissions errored or were shed with ErrOverloaded. For
+	// qps entries NsPerOp is the mean submit-to-answer latency.
+	Shards       int     `json:"shards,omitempty"`
+	Clients      int     `json:"clients,omitempty"`
+	SettleEpochs int64   `json:"settle_epochs,omitempty"`
+	QPS          float64 `json:"qps,omitempty"`
+	P50Ms        float64 `json:"p50_ms,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
+	QueryErrors  int64   `json:"query_errors,omitempty"`
+	QueriesShed  int64   `json:"queries_shed,omitempty"`
 
 	// Telemetry carries informational counter totals (and histogram
 	// counts) from one extra telemetry-instrumented run of the same
@@ -127,6 +152,11 @@ type spec struct {
 	// snap, when set, produces the Entry's informational telemetry
 	// totals from one non-timed instrumented run.
 	snap func() (map[string]int64, error)
+	// qps, when set, replaces fn: the spec is a query-path grid point
+	// measured by its own wall-clock harness (see qps.go), and point
+	// carries its grid coordinates into the Entry.
+	qps   func() (qpsResult, error)
+	point qpsPoint
 }
 
 // scale returns the benchmark scale: the paper's §7 setup, or the reduced
@@ -288,7 +318,7 @@ func specs(quick bool) []spec {
 		}
 	}
 
-	return append([]spec{
+	all := append([]spec{
 		{name: "headline/fixed", group: "workload", nodes: nodes, epochs: epochs,
 			fn:   func(b *testing.B) { runScenario(b, scenario.FixedDelta, false) },
 			snap: headlineSnap(scenario.FixedDelta, false)},
@@ -385,11 +415,36 @@ func specs(quick bool) []spec {
 				}
 			}},
 	}, scaleSpecs...)
+	return append(all, qpsSpecs(quick)...)
 }
 
-// measure runs one spec n times and keeps the fastest run.
+// measure runs one spec n times and keeps the fastest run (for qps
+// specs: the run with the highest throughput, kept whole so qps and its
+// latency percentiles describe the same run).
 func measure(s spec, n int) Entry {
 	e := Entry{Name: s.name, Group: s.group, Runs: n}
+	if s.qps != nil {
+		var best qpsResult
+		for run := 0; run < n; run++ {
+			r, err := s.qps()
+			if err != nil {
+				log.Fatalf("%s: %v", s.name, err)
+			}
+			if run == 0 || r.qps() > best.qps() {
+				best = r
+			}
+		}
+		e.NsPerOp = best.meanNs
+		e.Shards = s.point.shards
+		e.Clients = s.point.clients
+		e.SettleEpochs = s.point.settle
+		e.QPS = best.qps()
+		e.P50Ms = float64(best.p50.Nanoseconds()) / 1e6
+		e.P99Ms = float64(best.p99.Nanoseconds()) / 1e6
+		e.QueryErrors = best.errs
+		e.QueriesShed = best.shed
+		return e
+	}
 	for run := 0; run < n; run++ {
 		r := testing.Benchmark(s.fn)
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -446,7 +501,7 @@ func (f *File) Validate() error {
 			return fmt.Errorf("benchmark %d: empty name", i)
 		case seen[b.Name]:
 			return fmt.Errorf("benchmark %d: duplicate name %q", i, b.Name)
-		case b.Group != "workload" && b.Group != "micro" && b.Group != "scale":
+		case b.Group != "workload" && b.Group != "micro" && b.Group != "scale" && b.Group != "qps":
 			return fmt.Errorf("benchmark %q: unknown group %q", b.Name, b.Group)
 		case b.NsPerOp <= 0:
 			return fmt.Errorf("benchmark %q: ns_per_op %v <= 0", b.Name, b.NsPerOp)
@@ -456,6 +511,16 @@ func (f *File) Validate() error {
 			return fmt.Errorf("benchmark %q: missing throughput", b.Name)
 		case b.Group == "scale" && (b.Nodes <= 0 || b.Epochs <= 0):
 			return fmt.Errorf("benchmark %q: scale bench without nodes/epochs", b.Name)
+		case b.Group == "qps" && (b.Shards <= 0 || b.Clients <= 0 || b.SettleEpochs <= 0):
+			return fmt.Errorf("benchmark %q: qps bench without grid coordinates", b.Name)
+		case b.Group == "qps" && b.QPS <= 0:
+			return fmt.Errorf("benchmark %q: qps bench without qps", b.Name)
+		case b.Group == "qps" && (b.P50Ms <= 0 || b.P99Ms <= 0):
+			return fmt.Errorf("benchmark %q: qps bench without latency percentiles", b.Name)
+		case b.Group == "qps" && b.P99Ms < b.P50Ms:
+			return fmt.Errorf("benchmark %q: p99 %v below p50 %v", b.Name, b.P99Ms, b.P50Ms)
+		case b.Group != "qps" && b.QPS != 0:
+			return fmt.Errorf("benchmark %q: qps fields on a %s bench", b.Name, b.Group)
 		}
 		seen[b.Name] = true
 	}
@@ -493,10 +558,16 @@ func measureAll(all []spec, iters int) []Entry {
 	for _, s := range all {
 		fmt.Fprintf(os.Stderr, "running %-24s ", s.name)
 		e := measure(s, iters)
-		line := fmt.Sprintf("%12.0f ns/op %8d allocs/op", e.NsPerOp, e.AllocsPerOp)
-		if e.EpochsPerSec > 0 {
-			line += fmt.Sprintf("  %10.0f epochs/s  %12.0f node-epochs/s",
-				e.EpochsPerSec, e.NodeEpochsPerSec)
+		var line string
+		if e.QPS > 0 {
+			line = fmt.Sprintf("%12.0f qps    p50 %7.2f ms  p99 %7.2f ms  errors %d  shed %d",
+				e.QPS, e.P50Ms, e.P99Ms, e.QueryErrors, e.QueriesShed)
+		} else {
+			line = fmt.Sprintf("%12.0f ns/op %8d allocs/op", e.NsPerOp, e.AllocsPerOp)
+			if e.EpochsPerSec > 0 {
+				line += fmt.Sprintf("  %10.0f epochs/s  %12.0f node-epochs/s",
+					e.EpochsPerSec, e.NodeEpochsPerSec)
+			}
 		}
 		fmt.Fprintln(os.Stderr, line)
 		if s.snap != nil {
@@ -510,6 +581,14 @@ func measureAll(all []spec, iters int) []Entry {
 	}
 	return out
 }
+
+// p99SlackMs is the absolute grace on the qps p99-latency ceiling: a
+// candidate fails the p99 axis only when it exceeds both the fractional
+// ceiling and the baseline by this many milliseconds. Measured p99 on a
+// busy grid point moves in ~10 ms scheduler-quantum steps run to run;
+// the slack absorbs that while still catching the order-of-magnitude
+// blowups an unbounded admission queue produces under load.
+const p99SlackMs = 50
 
 // compare gates a candidate measurement against a baseline file: any
 // workload benchmark whose epochs/sec regressed by more than tolerance
@@ -552,11 +631,45 @@ func compare(basePath, candPath string, tolerance float64, iters int) error {
 			// A gating benchmark that vanished from the candidate is a
 			// failure, not a skip: a renamed or dropped spec must come with
 			// a regenerated baseline, or the gate silently loses coverage.
-			if b.Group == "workload" || b.Group == "scale" {
+			if b.Group == "workload" || b.Group == "scale" || b.Group == "qps" {
 				fmt.Printf("  %-24s MISSING from candidate\n", b.Name)
 				missing++
 			} else {
 				fmt.Printf("  %-24s SKIP (not in candidate)\n", b.Name)
+			}
+		case b.Group == "qps":
+			// Query-path grid points gate on two axes at once: a qps floor
+			// ((1-t) of baseline qps) and a p99-latency ceiling (baseline
+			// p99 over (1-t), plus an absolute p99SlackMs grace — a
+			// single run's p99 at millisecond scale swings by whole
+			// scheduler quanta, so a lucky sub-ms baseline must not turn
+			// ordinary jitter into a red gate; a real queueing regression
+			// blows past both bounds). Comparable only at identical grid
+			// coordinates.
+			switch {
+			case c.Shards != b.Shards || c.Clients != b.Clients || c.SettleEpochs != b.SettleEpochs:
+				fmt.Printf("  %-24s SKIP (grid s%d-w%d-c%d vs baseline s%d-w%d-c%d)\n", b.Name,
+					c.Shards, c.SettleEpochs, c.Clients, b.Shards, b.SettleEpochs, b.Clients)
+			case c.QPS <= 0 || b.QPS <= 0:
+				fmt.Printf("  %-24s SKIP (no qps recorded)\n", b.Name)
+			default:
+				compared++
+				ratio := c.QPS / b.QPS
+				sumRatio += ratio
+				var bad []string
+				if ratio < 1-tolerance {
+					bad = append(bad, "qps")
+				}
+				if b.P99Ms > 0 && c.P99Ms > b.P99Ms/(1-tolerance) && c.P99Ms > b.P99Ms+p99SlackMs {
+					bad = append(bad, "p99")
+				}
+				verdict := "ok"
+				if len(bad) > 0 {
+					verdict = "REGRESSION(" + strings.Join(bad, "+") + ")"
+					regressed++
+				}
+				fmt.Printf("  %-24s %s  %9.0f -> %9.0f qps (%+.1f%%)  p99 %7.2f -> %7.2f ms\n",
+					b.Name, verdict, b.QPS, c.QPS, (ratio-1)*100, b.P99Ms, c.P99Ms)
 			}
 		case (b.Group != "workload" && b.Group != "scale") || b.EpochsPerSec <= 0:
 			// Micro-benches: context only.
@@ -580,18 +693,18 @@ func compare(basePath, candPath string, tolerance float64, iters int) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("no comparable workload/scale benchmarks between candidate and %s — the gate would be vacuous", basePath)
+		return fmt.Errorf("no comparable workload/scale/qps benchmarks between candidate and %s — the gate would be vacuous", basePath)
 	}
-	fmt.Printf("mean epochs/s delta vs baseline: %+.1f%% across %d benchmarks\n",
+	fmt.Printf("mean throughput delta vs baseline: %+.1f%% across %d benchmarks\n",
 		(sumRatio/float64(compared)-1)*100, compared)
 	if missing > 0 {
 		return fmt.Errorf("%d gating benchmarks from %s are missing in the candidate — regenerate and commit the baseline alongside the spec change", missing, basePath)
 	}
 	if regressed > 0 {
-		return fmt.Errorf("%d of %d workload/scale benchmarks regressed more than %.0f%% vs %s",
+		return fmt.Errorf("%d of %d workload/scale/qps benchmarks regressed more than %.0f%% vs %s",
 			regressed, compared, tolerance*100, basePath)
 	}
-	fmt.Printf("gate passed: %d workload/scale benchmarks within %.0f%% of baseline\n", compared, tolerance*100)
+	fmt.Printf("gate passed: %d workload/scale/qps benchmarks within %.0f%% of baseline\n", compared, tolerance*100)
 	return nil
 }
 
@@ -678,6 +791,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
 		Iterations: *iters,
 	}

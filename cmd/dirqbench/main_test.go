@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,6 +25,9 @@ func validFile() File {
 			{Name: "substrate/queue", Group: "micro", NsPerOp: 120, Runs: 3},
 			{Name: "scale/fixed-1000", Group: "scale", NsPerOp: 2e9, Runs: 3,
 				Nodes: 1000, Epochs: 1000, EpochsPerSec: 500, NodeEpochsPerSec: 5e5},
+			{Name: "qps/s1-w4-c8", Group: "qps", NsPerOp: 3e5, Runs: 3,
+				Shards: 1, Clients: 8, SettleEpochs: 4,
+				QPS: 8000, P50Ms: 0.1, P99Ms: 25},
 		},
 	}
 }
@@ -61,6 +65,16 @@ func TestValidateTable(t *testing.T) {
 			`benchmark "workloads/fixed": missing throughput`},
 		{"scale without nodes", func(f *File) { f.Benchmarks[2].Nodes = 0 },
 			`benchmark "scale/fixed-1000": scale bench without nodes/epochs`},
+		{"qps without grid coordinates", func(f *File) { f.Benchmarks[3].Clients = 0 },
+			`benchmark "qps/s1-w4-c8": qps bench without grid coordinates`},
+		{"qps without qps", func(f *File) { f.Benchmarks[3].QPS = 0 },
+			`benchmark "qps/s1-w4-c8": qps bench without qps`},
+		{"qps without percentiles", func(f *File) { f.Benchmarks[3].P99Ms = 0 },
+			`benchmark "qps/s1-w4-c8": qps bench without latency percentiles`},
+		{"qps p99 below p50", func(f *File) { f.Benchmarks[3].P99Ms = 0.05 },
+			`benchmark "qps/s1-w4-c8": p99 0.05 below p50 0.1`},
+		{"qps fields on non-qps bench", func(f *File) { f.Benchmarks[2].QPS = 100 },
+			`benchmark "scale/fixed-1000": qps fields on a scale bench`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -132,5 +146,65 @@ func TestCheckRejectsMalformed(t *testing.T) {
 	}
 	if err := check(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("-check accepted a missing file")
+	}
+}
+
+// TestCompareQPSGate: the -compare gate fails on a qps-floor breach, a
+// p99-ceiling breach, or a vanished qps grid point — and tolerates a
+// coordinate change as a skip so grid evolution needs only a fresh
+// baseline, not a schema change.
+func TestCompareQPSGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f File) string {
+		t.Helper()
+		b, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base", validFile())
+
+	cases := []struct {
+		name    string
+		mutate  func(*File)
+		wantSub string // substring of the compare error; "" means gate passes
+	}{
+		{"identical", func(f *File) {}, ""},
+		{"qps floor breach", func(f *File) { f.Benchmarks[3].QPS /= 2 },
+			"regressed more than 30%"},
+		{"p99 ceiling breach", func(f *File) { f.Benchmarks[3].P99Ms *= 4 },
+			"regressed more than 30%"},
+		{"p99 within absolute slack", func(f *File) { f.Benchmarks[3].P99Ms *= 2 }, ""},
+		{"qps point missing", func(f *File) { f.Benchmarks = f.Benchmarks[:3] },
+			"missing in the candidate"},
+		{"grid moved skips", func(f *File) {
+			f.Benchmarks[3].Name = "qps/s1-w8-c8"
+			f.Benchmarks[3].SettleEpochs = 8
+		}, "missing in the candidate"},
+		{"within tolerance", func(f *File) {
+			f.Benchmarks[3].QPS *= 0.8
+			f.Benchmarks[3].P99Ms *= 1.2
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFile()
+			tc.mutate(&f)
+			cand := write("cand-"+strings.ReplaceAll(tc.name, " ", "-"), f)
+			err := compare(base, cand, 0.30, 1)
+			switch {
+			case tc.wantSub == "" && err != nil:
+				t.Fatalf("gate failed on a healthy candidate: %v", err)
+			case tc.wantSub != "" && err == nil:
+				t.Fatal("gate passed a regressed candidate")
+			case tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub):
+				t.Fatalf("gate error %q does not mention %q", err, tc.wantSub)
+			}
+		})
 	}
 }

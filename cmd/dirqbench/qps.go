@@ -1,0 +1,193 @@
+// Query-path throughput frontier: the qps/ benchmark group drives a
+// live serve.Manager with concurrent in-process clients across a
+// (shards × settle-window × client-count) grid and records queries/sec,
+// p50/p99 submit-to-answer latency, and error/shed counts.
+//
+// Unlike the workload/scale groups, which time pure simulation, these
+// points measure the serving layer itself: admission queueing (bounded,
+// with ErrOverloaded backpressure), the scheduler's settle windows, and
+// manager routing (least-loaded for the multi-shard points, exercising
+// the live backlog gauge). Latency is wall-clock — the grid injects
+// time.Now as ShardConfig.Clock, exactly like cmd/dirqd — because the
+// submit-to-answer path genuinely spans wall time; the simulated epochs
+// underneath stay deterministic per seed as everywhere else.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sensordata"
+	"repro/internal/serve"
+)
+
+// qpsPoint is one grid point of the query-path throughput frontier.
+type qpsPoint struct {
+	shards  int   // independent simulation shards behind the manager
+	settle  int64 // SettleEpochs: admission-to-answer window
+	clients int   // concurrent closed-loop clients
+}
+
+// qpsGrid spans the frontier: shard fan-out at fixed load, client
+// pile-up at fixed shards, and a longer settle window at both — eight
+// points, each named qps/s<shards>-w<settle>-c<clients>.
+var qpsGrid = []qpsPoint{
+	{shards: 1, settle: 4, clients: 8},
+	{shards: 1, settle: 16, clients: 8},
+	{shards: 1, settle: 4, clients: 32},
+	{shards: 2, settle: 4, clients: 8},
+	{shards: 2, settle: 16, clients: 8},
+	{shards: 2, settle: 4, clients: 32},
+	{shards: 4, settle: 4, clients: 32},
+	{shards: 4, settle: 16, clients: 32},
+}
+
+// qpsResult is one timed run of one grid point.
+type qpsResult struct {
+	answered int64
+	errs     int64
+	shed     int64
+	elapsed  time.Duration
+	p50      time.Duration
+	p99      time.Duration
+	meanNs   float64
+}
+
+func (r qpsResult) qps() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.answered) / r.elapsed.Seconds()
+}
+
+// qpsScenario mirrors dirqd's serving setup at small scale: 30 nodes,
+// effectively unbounded horizon.
+func qpsScenario(seed uint64) scenario.Config {
+	cfg := scenario.Default()
+	cfg.Seed = seed
+	cfg.NumNodes = 30
+	cfg.Epochs = 1 << 40
+	cfg.EpochsPerHour = 100
+	return cfg
+}
+
+// qpsRequest derives the i-th query of one client: deterministic shapes
+// cycling over all sensor types and three range widths, so every run
+// offers the same request mix.
+func qpsRequest(client, i int) serve.Request {
+	typ := sensordata.AllTypes()[(client+i)%int(sensordata.NumTypes)]
+	min, max := typ.Span()
+	w := max - min
+	switch (client + i/3) % 3 {
+	case 0: // wide
+		return serve.Request{Type: typ, Lo: min, Hi: max}
+	case 1: // middle band
+		return serve.Request{Type: typ, Lo: min + 0.3*w, Hi: min + 0.7*w}
+	default: // narrow high band
+		return serve.Request{Type: typ, Lo: min + 0.8*w, Hi: min + 0.9*w}
+	}
+}
+
+// runQPS drives one grid point for roughly dur of wall time: clients
+// closed-loop Query calls against a fresh manager, every answer timed.
+func runQPS(p qpsPoint, dur time.Duration) (qpsResult, error) {
+	cfgs := make([]serve.ShardConfig, p.shards)
+	for i := range cfgs {
+		cfgs[i] = serve.ShardConfig{
+			ID:           fmt.Sprintf("q%d", i),
+			Scenario:     qpsScenario(uint64(1 + i)),
+			StepEpochs:   16,
+			SettleEpochs: p.settle,
+			Tick:         200 * time.Microsecond,
+			Clock:        func() int64 { return time.Now().UnixNano() },
+		}
+	}
+	m, err := serve.NewManager(cfgs)
+	if err != nil {
+		return qpsResult{}, err
+	}
+	if p.shards > 1 {
+		m.SetRouting(serve.RouteLeastLoaded)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := m.Start(ctx); err != nil {
+		return qpsResult{}, err
+	}
+	defer m.Stop()
+
+	type tally struct {
+		lats []time.Duration
+		errs int64
+		shed int64
+	}
+	tallies := make([]tally, p.clients)
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for ci := 0; ci < p.clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			t := &tallies[ci]
+			for i := 0; time.Now().Before(deadline); i++ {
+				qstart := time.Now()
+				_, err := m.Query(ctx, qpsRequest(ci, i))
+				switch {
+				case err == nil:
+					t.lats = append(t.lats, time.Since(qstart))
+				case errors.Is(err, serve.ErrOverloaded):
+					t.shed++
+				default:
+					t.errs++
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	res := qpsResult{elapsed: time.Since(start)}
+	var all []time.Duration
+	for _, t := range tallies {
+		all = append(all, t.lats...)
+		res.errs += t.errs
+		res.shed += t.shed
+	}
+	if len(all) == 0 {
+		return qpsResult{}, fmt.Errorf("qps point s%d-w%d-c%d answered no queries in %v (errors %d, shed %d)",
+			p.shards, p.settle, p.clients, dur, res.errs, res.shed)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.answered = int64(len(all))
+	res.p50 = all[len(all)/2]
+	res.p99 = all[min(len(all)-1, len(all)*99/100)]
+	var sum time.Duration
+	for _, l := range all {
+		sum += l
+	}
+	res.meanNs = float64(sum.Nanoseconds()) / float64(len(all))
+	return res, nil
+}
+
+// qpsSpecs assembles the qps/ group. -quick shortens each point's wall
+// budget so the whole grid stays a few seconds on CI.
+func qpsSpecs(quick bool) []spec {
+	dur := 2 * time.Second
+	if quick {
+		dur = 400 * time.Millisecond
+	}
+	out := make([]spec, 0, len(qpsGrid))
+	for _, p := range qpsGrid {
+		out = append(out, spec{
+			name:  fmt.Sprintf("qps/s%d-w%d-c%d", p.shards, p.settle, p.clients),
+			group: "qps",
+			point: p,
+			qps:   func() (qpsResult, error) { return runQPS(p, dur) },
+		})
+	}
+	return out
+}

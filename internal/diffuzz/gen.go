@@ -21,6 +21,14 @@ type Case struct {
 	Seed   uint64          `json:"seed"`
 	Cfg    scenario.Config `json:"config"`
 	Script *script.Script  `json:"script"`
+	// QueueDepth / MaxBatch, when non-zero, bound the serve oracle's
+	// admission queue and drain batch, so the oracle exercises the
+	// backpressure path: concurrent submissions may shed with
+	// ErrOverloaded, and the shed queries must leave no trace in the
+	// admission log. Zero means the serve defaults (additive JSON —
+	// older corpus entries decode with the knobs off).
+	QueueDepth int `json:"queue_depth,omitempty"`
+	MaxBatch   int `json:"max_batch,omitempty"`
 }
 
 // nodeLadder is the usual network-size menu; shrinking walks it downward.
@@ -43,7 +51,17 @@ func Generate(seed uint64) Case {
 	rng := sim.NewRNG(seed).Stream("diffuzz/gen")
 	cfg := genConfig(rng)
 	r := buildable(&cfg)
-	return Case{Seed: seed, Cfg: cfg, Script: genScript(rng, seed, cfg, r)}
+	c := Case{Seed: seed, Cfg: cfg, Script: genScript(rng, seed, cfg, r)}
+	// Backpressure knobs come from their own stream so their addition
+	// left every pre-existing seed's config and script untouched. Depths
+	// of 1..4 against the serve oracle's 8 concurrent clients make real
+	// shedding plausible without starving the run entirely.
+	brng := sim.NewRNG(seed).Stream("diffuzz/backpressure")
+	if brng.Bool(0.4) {
+		c.QueueDepth = 1 + brng.Intn(4)
+		c.MaxBatch = 1 + brng.Intn(c.QueueDepth)
+	}
+	return c
 }
 
 // buildable walks cfg.Seed forward to the first deployment that builds

@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -335,6 +337,11 @@ func oracleServe(c Case) error {
 		StepEpochs: 16,
 		Tick:       200 * time.Microsecond,
 		Chaos:      chaos,
+		// Case-drawn backpressure knobs (zero: serve defaults). With a
+		// tight queue some of the concurrent submissions below shed, and
+		// the oracle then also proves shedding leaves no log trace.
+		QueueDepth: c.QueueDepth,
+		MaxBatch:   c.MaxBatch,
 	}
 	sh, err := serve.NewShard(shcfg)
 	if err != nil {
@@ -344,26 +351,68 @@ func oracleServe(c Case) error {
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- sh.Serve(ctx) }()
 
+	// Request shapes are drawn serially (deterministic per seed); the
+	// submissions race, so which ones shed under a bounded queue is
+	// scheduler-dependent — exactly why replay correctness must not
+	// depend on it.
 	qrng := sim.NewRNG(c.Seed).Stream("diffuzz/queries")
 	const clients = 8
-	live := make([]*serve.Response, 0, clients)
-	for i := 0; i < clients; i++ {
-		qctx, qcancel := context.WithTimeout(context.Background(), 60*time.Second)
-		resp, qerr := sh.Submit(qctx, randRequest(qrng))
-		qcancel()
-		if qerr != nil {
+	reqs := make([]serve.Request, clients)
+	for i := range reqs {
+		reqs[i] = randRequest(qrng)
+	}
+	type submission struct {
+		resp *serve.Response
+		err  error
+	}
+	results := make([]submission, clients)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qctx, qcancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer qcancel()
+			resp, qerr := sh.Submit(qctx, reqs[i])
+			results[i] = submission{resp, qerr}
+		}(i)
+	}
+	wg.Wait()
+	live := map[int64]*serve.Response{}
+	shed := 0
+	for i, r := range results {
+		switch {
+		case r.err == nil:
+			live[r.resp.QueryID] = r.resp
+		case errors.Is(r.err, serve.ErrOverloaded):
+			shed++
+		default:
 			cancel()
 			<-serveDone
-			return fmt.Errorf("diffuzz: serve oracle: live query %d: %w", i, qerr)
+			return fmt.Errorf("diffuzz: serve oracle: live query %d: %w", i, r.err)
 		}
-		live = append(live, resp)
 	}
 	cancel()
 	if err := <-serveDone; err != nil {
 		return fmt.Errorf("diffuzz: serve oracle: %w", err)
 	}
+	if got := sh.QueriesShed(); got != int64(shed) {
+		return &Divergence{Oracle: OracleServe, Seed: c.Seed,
+			Detail: fmt.Sprintf("shard counted %d shed queries, clients saw %d", got, shed)}
+	}
 
 	log := sh.AdmittedLog()
+	logged := 0
+	for _, e := range log {
+		if e.Event == nil {
+			logged++
+		}
+	}
+	if logged != len(live) {
+		return &Divergence{Oracle: OracleServe, Seed: c.Seed,
+			Detail: fmt.Sprintf("admission log holds %d query entries for %d answered queries (%d shed — shed queries must not be logged)",
+				logged, len(live), shed)}
+	}
 	fresh, err := serve.NewShard(shcfg)
 	if err != nil {
 		return err
@@ -379,15 +428,20 @@ func oracleServe(c Case) error {
 		return &Divergence{Oracle: OracleServe, Seed: c.Seed,
 			Detail: fmt.Sprintf("replay produced %d responses for %d live queries", len(replayed), len(live))}
 	}
-	for i := range live {
-		a, aerr := json.Marshal(live[i])
-		b, berr := json.Marshal(replayed[i])
+	for _, rr := range replayed {
+		lr, ok := live[rr.QueryID]
+		if !ok {
+			return &Divergence{Oracle: OracleServe, Seed: c.Seed,
+				Detail: fmt.Sprintf("replayed query %d has no live counterpart", rr.QueryID)}
+		}
+		a, aerr := json.Marshal(lr)
+		b, berr := json.Marshal(rr)
 		if aerr != nil || berr != nil {
-			return fmt.Errorf("diffuzz: serve oracle: marshal response %d: %v / %v", i, aerr, berr)
+			return fmt.Errorf("diffuzz: serve oracle: marshal response %d: %v / %v", rr.QueryID, aerr, berr)
 		}
 		if !bytes.Equal(a, b) {
 			return &Divergence{Oracle: OracleServe, Seed: c.Seed,
-				Detail: fmt.Sprintf("response %d differs\nlive:   %s\nreplay: %s", i, a, b)}
+				Detail: fmt.Sprintf("query %d differs\nlive:   %s\nreplay: %s", rr.QueryID, a, b)}
 		}
 	}
 	return nil

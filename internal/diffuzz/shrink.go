@@ -205,4 +205,11 @@ var knobPasses = []func(*Case) bool{
 		}
 		return true
 	},
+	func(c *Case) bool {
+		if c.QueueDepth == 0 && c.MaxBatch == 0 {
+			return false
+		}
+		c.QueueDepth, c.MaxBatch = 0, 0
+		return true
+	},
 }

@@ -4,20 +4,77 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/telemetry"
 )
+
+// StatusError is a non-2xx reply from the daemon, carrying the HTTP
+// status code so callers (and the client's own retry loop) can branch
+// on it — 429 means backpressure (the shard shed the query), 503 means
+// the daemon is shutting down or degraded.
+type StatusError struct {
+	// Code is the HTTP status code (e.g. 429).
+	Code int
+	// Status is the full status line (e.g. "429 Too Many Requests").
+	Status string
+	// Msg is the server's JSON error message, if it sent one.
+	Msg string
+	// RetryAfter is the parsed Retry-After header (0 when absent).
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("serve: %s: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("serve: %s", e.Status)
+}
+
+// retryable reports whether the reply signals transient pressure worth
+// retrying: 429 (admission queue full) or 503 (shutting down mid-drain
+// or briefly degraded).
+func (e *StatusError) retryable() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+// RetryPolicy bounds the client's automatic retries of 429/503 replies.
+// The zero value disables retrying (every call is a single attempt).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call, including the
+	// first (values below 1 mean 1 — no retry).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry (default 10ms).
+	// Each subsequent retry doubles it, capped at MaxBackoff, and a
+	// deterministic jitter in [0.5, 1.5) de-synchronizes clients that
+	// were shed by the same full queue. A server Retry-After hint longer
+	// than the computed backoff takes precedence.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1s).
+	MaxBackoff time.Duration
+	// Sleep waits between attempts; nil means time.Sleep. Injectable so
+	// tests can count and fast-forward the waits.
+	Sleep func(time.Duration)
+}
 
 // Client is a small Go client for a dirqd endpoint — the programmatic
 // counterpart of `curl`. The zero value is not usable; construct with
 // NewClient.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	// jig seeds the deterministic backoff jitter. Shared by WithRetry
+	// copies so concurrent callers keep drawing distinct values; never
+	// wall-clock- or math/rand-derived (the repo bans ambient entropy).
+	jig *atomic.Uint64
 }
 
 // NewClient targets a dirqd base URL (e.g. "http://127.0.0.1:8080").
@@ -26,7 +83,19 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   httpClient,
+		jig:  new(atomic.Uint64),
+	}
+}
+
+// WithRetry returns a copy of the client that retries 429/503 replies
+// under the given policy. The copy shares the underlying http.Client.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p
+	return &cp
 }
 
 // Query submits one range query and waits for the answer.
@@ -35,33 +104,23 @@ func (c *Client) Query(ctx context.Context, req QueryRequestWire) (*Response, er
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/query", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
 	var resp Response
-	if err := c.do(hreq, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/query", body, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // QueryRange is the common case: a range query on one sensor type,
-// routed round-robin.
+// routed by the daemon's configured policy.
 func (c *Client) QueryRange(ctx context.Context, typ string, lo, hi float64) (*Response, error) {
 	return c.Query(ctx, QueryRequestWire{Type: typ, Lo: &lo, Hi: &hi})
 }
 
 // Stats fetches the live per-shard counters.
 func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
-	if err != nil {
-		return nil, err
-	}
 	var reply StatsReply
-	if err := c.do(hreq, &reply); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/stats", nil, &reply); err != nil {
 		return nil, err
 	}
 	return &reply, nil
@@ -70,22 +129,14 @@ func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
 // Healthz checks daemon liveness, returning an error unless every shard
 // loop is running.
 func (c *Client) Healthz(ctx context.Context) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return err
-	}
 	var reply HealthReply
-	return c.do(hreq, &reply)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, &reply)
 }
 
 // Metrics fetches and decodes the /metrics.json telemetry snapshot.
 func (c *Client) Metrics(ctx context.Context) ([]telemetry.SeriesSnapshot, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics.json", nil)
-	if err != nil {
-		return nil, err
-	}
 	var doc telemetry.MetricsJSON
-	if err := c.do(hreq, &doc); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics.json", nil, &doc); err != nil {
 		return nil, err
 	}
 	return doc.Metrics, nil
@@ -93,35 +144,102 @@ func (c *Client) Metrics(ctx context.Context) ([]telemetry.SeriesSnapshot, error
 
 // Shards lists the hosted shards.
 func (c *Client) Shards(ctx context.Context) ([]ShardInfo, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/shards", nil)
-	if err != nil {
-		return nil, err
-	}
 	var infos []ShardInfo
-	if err := c.do(hreq, &infos); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/shards", nil, &infos); err != nil {
 		return nil, err
 	}
 	return infos, nil
 }
 
-// do executes one request and decodes the JSON reply, surfacing the
-// server's error message on non-2xx statuses.
-func (c *Client) do(hreq *http.Request, out any) error {
+// do executes one logical call, retrying 429/503 replies under the
+// client's RetryPolicy with exponential jittered backoff. Each attempt
+// rebuilds the request from the body bytes, so retries are exact.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.retry.BaseBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	maxBackoff := c.retry.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	sleep := c.retry.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 1; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		var se *StatusError
+		if err == nil || attempt >= attempts || !errors.As(err, &se) || !se.retryable() {
+			return err
+		}
+		wait := time.Duration(float64(backoff) * c.jitter())
+		if se.RetryAfter > wait {
+			wait = se.RetryAfter
+		}
+		sleep(wait)
+		if cerr := ctx.Err(); cerr != nil {
+			// The deadline expired while backing off; surface the last
+			// server verdict rather than a bare context error.
+			return err
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// once executes one HTTP attempt and decodes the JSON reply, surfacing
+// non-2xx statuses as *StatusError.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
 		return err
 	}
 	defer hresp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(hresp.Body, 10<<20))
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 10<<20))
 	if err != nil {
 		return err
 	}
 	if hresp.StatusCode/100 != 2 {
+		se := &StatusError{Code: hresp.StatusCode, Status: hresp.Status}
 		var er errorReply
-		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return fmt.Errorf("serve: %s: %s", hresp.Status, er.Error)
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			se.Msg = er.Error
 		}
-		return fmt.Errorf("serve: %s", hresp.Status)
+		if secs, err := strconv.Atoi(hresp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return se
 	}
-	return json.Unmarshal(body, out)
+	return json.Unmarshal(raw, out)
+}
+
+// jitter draws a deterministic factor in [0.5, 1.5) by hashing an
+// atomic counter through a splitmix64 finalizer — uniform enough to
+// de-synchronize retries without math/rand or wall-clock seeding.
+func (c *Client) jitter() float64 {
+	z := c.jig.Add(0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return 0.5 + float64(z>>11)/float64(1<<53)
 }

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// retryServer fails the first n POST /query calls with the given status
+// (sending Retry-After when ra != "") and answers 200 afterwards.
+func retryServer(t *testing.T, n int32, status int, ra string) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	hits := &atomic.Int32{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= n {
+			if ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error":%q}`, ErrOverloaded.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"shard":"s0","query_id":7,"type":"temperature"}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, hits
+}
+
+// TestClientRetrySucceeds: two 429s then a 200 — a retrying client
+// absorbs the sheds and returns the eventual answer, honoring the
+// server's Retry-After hint over its own (smaller) backoff.
+func TestClientRetrySucceeds(t *testing.T) {
+	srv, hits := retryServer(t, 2, http.StatusTooManyRequests, "1")
+	var sleeps []time.Duration
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	resp, err := c.QueryRange(context.Background(), "temperature", 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.QueryID != 7 {
+		t.Errorf("query_id = %d, want 7", resp.QueryID)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(sleeps))
+	}
+	for i, d := range sleeps {
+		// Retry-After: 1 dominates the 1ms base backoff exactly.
+		if d != time.Second {
+			t.Errorf("sleep %d = %v, want 1s from Retry-After", i, d)
+		}
+	}
+}
+
+// TestClientRetryExhaustion: a persistently overloaded server exhausts
+// MaxAttempts and the last 429 surfaces as a *StatusError; the jittered
+// exponential backoff stays inside its documented envelope.
+func TestClientRetryExhaustion(t *testing.T) {
+	srv, hits := retryServer(t, 1<<30, http.StatusTooManyRequests, "")
+	var sleeps []time.Duration
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 10 * time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	_, err := c.QueryRange(context.Background(), "temperature", 0, 50)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("error after exhaustion = %v, want *StatusError 429", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want MaxAttempts=3", got)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(sleeps))
+	}
+	// Jitter spans [0.5, 1.5) of the doubling backoff: 10ms then 20ms.
+	bounds := []struct{ lo, hi time.Duration }{
+		{5 * time.Millisecond, 15 * time.Millisecond},
+		{10 * time.Millisecond, 30 * time.Millisecond},
+	}
+	for i, d := range sleeps {
+		if d < bounds[i].lo || d >= bounds[i].hi {
+			t.Errorf("sleep %d = %v outside jitter envelope [%v, %v)", i, d, bounds[i].lo, bounds[i].hi)
+		}
+	}
+}
+
+// TestClientRetryOnlyTransient: non-transient statuses are not retried,
+// and a zero-value policy means a single attempt even on 429.
+func TestClientRetryOnlyTransient(t *testing.T) {
+	srv, hits := retryServer(t, 1<<30, http.StatusNotFound, "")
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		Sleep:       func(time.Duration) { t.Error("slept on a non-retryable status") },
+	})
+	_, err := c.QueryRange(context.Background(), "temperature", 0, 50)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("error = %v, want *StatusError 404", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d attempts for a 404, want 1", got)
+	}
+
+	srv2, hits2 := retryServer(t, 1<<30, http.StatusTooManyRequests, "")
+	if _, err := NewClient(srv2.URL, srv2.Client()).QueryRange(context.Background(), "temperature", 0, 50); err == nil {
+		t.Fatal("zero-value policy returned success from a 429 server")
+	}
+	if got := hits2.Load(); got != 1 {
+		t.Errorf("zero-value policy made %d attempts, want 1", got)
+	}
+}
+
+// TestClientRetry503 covers the other transient status: 503 from a
+// shutting-down daemon is retried the same way.
+func TestClientRetry503(t *testing.T) {
+	srv, hits := retryServer(t, 1, http.StatusServiceUnavailable, "")
+	c := NewClient(srv.URL, srv.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 2,
+		BaseBackoff: time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	})
+	if _, err := c.QueryRange(context.Background(), "temperature", 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2", got)
+	}
+}
+
+// TestClientJitterDeterministicRange: the splitmix-derived jitter stays
+// in [0.5, 1.5) and varies draw to draw without ambient entropy.
+func TestClientJitterDeterministicRange(t *testing.T) {
+	c := NewClient("http://unused", nil)
+	seen := map[float64]bool{}
+	for i := 0; i < 1000; i++ {
+		j := c.jitter()
+		if j < 0.5 || j >= 1.5 {
+			t.Fatalf("jitter draw %d = %v outside [0.5, 1.5)", i, j)
+		}
+		seen[j] = true
+	}
+	if len(seen) < 900 {
+		t.Errorf("only %d distinct jitter values in 1000 draws", len(seen))
+	}
+}

@@ -93,6 +93,11 @@ type errorReply struct {
 
 const defaultQueryTimeout = 30 * time.Second
 
+// overloadedRetryAfter is the Retry-After value (in seconds) sent with
+// 429 replies. A settle window is typically well under a second, so one
+// second is a conservative "the queue will have drained" hint.
+const overloadedRetryAfter = "1"
+
 // NewHandler exposes a Manager over HTTP:
 //
 //	POST /query         admit one range query, wait for its answer
@@ -133,6 +138,12 @@ func NewHandler(m *Manager, info ...ServerInfo) http.Handler {
 			writeJSON(w, http.StatusOK, resp)
 		case errors.Is(err, ErrNoSuchShard):
 			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrOverloaded):
+			// Backpressure, not failure: the shard shed the query because
+			// its admission queue is full. Retry-After carries the hint
+			// serve.Client's bounded-backoff retry honors.
+			w.Header().Set("Retry-After", overloadedRetryAfter)
+			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrHorizonReached):
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, context.DeadlineExceeded):

@@ -110,21 +110,25 @@ type AdmittedQuery struct {
 
 // ShardStats is one shard's live counters for /stats.
 type ShardStats struct {
-	ID              string  `json:"id"`
-	Epoch           int64   `json:"epoch"`
-	Running         bool    `json:"running"`
-	Done            bool    `json:"done"`
-	Nodes           int     `json:"nodes"`
-	TreeDepth       int     `json:"tree_depth"`
-	Seed            uint64  `json:"seed"`
-	Mode            string  `json:"mode"`
-	QueriesServed   int64   `json:"queries_served"`
-	QueriesInjected int     `json:"queries_injected"`
-	QueryCost       int64   `json:"query_cost"`
-	UpdateCost      int64   `json:"update_cost"`
-	EstimateCost    int64   `json:"estimate_cost"`
-	FloodBaseline   int64   `json:"flood_baseline"`
-	CostFraction    float64 `json:"cost_fraction"`
+	ID              string `json:"id"`
+	Epoch           int64  `json:"epoch"`
+	Running         bool   `json:"running"`
+	Done            bool   `json:"done"`
+	Nodes           int    `json:"nodes"`
+	TreeDepth       int    `json:"tree_depth"`
+	Seed            uint64 `json:"seed"`
+	Mode            string `json:"mode"`
+	QueriesServed   int64  `json:"queries_served"`
+	QueriesInjected int    `json:"queries_injected"`
+	// QueriesShed counts submissions refused with ErrOverloaded because
+	// the bounded admission queue was full. Shed queries never enter the
+	// admission log, so they do not affect Replay.
+	QueriesShed   int64   `json:"queries_shed"`
+	QueryCost     int64   `json:"query_cost"`
+	UpdateCost    int64   `json:"update_cost"`
+	EstimateCost  int64   `json:"estimate_cost"`
+	FloodBaseline int64   `json:"flood_baseline"`
+	CostFraction  float64 `json:"cost_fraction"`
 	// MeanOvershootPct / PctShould / PctReceived summarize the queries
 	// answered so far, each evaluated at its answer epoch (Fig. 5
 	// quantities, live).

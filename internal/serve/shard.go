@@ -25,6 +25,14 @@ var ErrShuttingDown = errors.New("serve: shard shutting down")
 // whose simulation has already reached its configured epoch horizon.
 var ErrHorizonReached = errors.New("serve: shard reached its epoch horizon")
 
+// ErrOverloaded is returned by Submit when the admission queue already
+// holds QueueDepth queries: the query is shed immediately instead of
+// queueing without bound. A shed query never enters the admission log,
+// so Replay of the log is unaffected by shedding. The HTTP layer maps
+// this to 429 Too Many Requests with a Retry-After hint, and
+// serve.Client can retry it with bounded jittered backoff.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
 // ShardConfig parameterizes one live shard.
 type ShardConfig struct {
 	// ID names the shard in requests, responses, and stats.
@@ -47,8 +55,14 @@ type ShardConfig struct {
 	// and then waits Tick for queries (default 2ms; queries interrupt the
 	// wait, and pending queries skip it entirely).
 	Tick time.Duration
-	// QueueDepth bounds the admission queue (default 256).
+	// QueueDepth bounds the admission queue (default 256). Submit sheds
+	// with ErrOverloaded — it does not block — once the queue is full.
 	QueueDepth int
+	// MaxBatch caps how many queued queries one scheduler pass admits
+	// (default QueueDepth, i.e. drain everything). A smaller cap spreads a
+	// full queue's admissions over several passes, smoothing the settle-
+	// window latency spikes a single unbounded drain causes.
+	MaxBatch int
 	// Chaos optionally schedules scenario-dynamics events (node kills and
 	// cascades, sensor regime shifts and drift, threshold retuning) that
 	// fire at their exact epochs while the shard serves live queries.
@@ -81,6 +95,9 @@ func (c ShardConfig) withDefaults() ShardConfig {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 || c.MaxBatch > c.QueueDepth {
+		c.MaxBatch = c.QueueDepth
 	}
 	return c
 }
@@ -115,6 +132,7 @@ type Shard struct {
 	admit  chan *pendingQuery
 	done   chan struct{} // closed when the loop exits
 	driven atomic.Bool   // loop started or Replay used
+	shed   atomic.Int64  // queries refused with ErrOverloaded
 
 	// mu guards everything below (the runner is not thread-safe).
 	mu       sync.Mutex
@@ -144,6 +162,7 @@ type shardTelemetry struct {
 	admitted   *telemetry.Counter
 	served     *telemetry.Counter
 	failed     *telemetry.Counter
+	shed       *telemetry.Counter
 	chaos      *telemetry.Counter
 	latency    *telemetry.Histogram
 	queueDepth *telemetry.Gauge
@@ -185,12 +204,13 @@ func NewShardWithEngine(cfg ShardConfig, engine *sim.Engine) (*Shard, error) {
 	if reg := cfg.Telemetry; reg != nil {
 		sh.tel = shardTelemetry{
 			admitted: reg.Counter("dirq_serve_queries_admitted_total", "Queries admitted into the simulation."),
-			served:   reg.Counter("dirq_serve_queries_served_total", "Queries answered."),
-			failed:   reg.Counter("dirq_serve_query_failures_total", "Submissions that returned an error."),
-			chaos:    reg.Counter("dirq_serve_chaos_events_total", "Chaos events applied."),
+			served:   reg.Counter("dirq_serve_queries_served_total", "Queries answered after their settle window."),
+			failed:   reg.Counter("dirq_serve_query_failures_total", "Query submissions that returned an error."),
+			shed:     reg.Counter("dirq_serve_queries_shed_total", "Queries shed with ErrOverloaded because the admission queue was full."),
+			chaos:    reg.Counter("dirq_serve_chaos_events_total", "Chaos script events applied while serving."),
 			latency: reg.Histogram("dirq_serve_query_latency_seconds",
-				"Wall-clock submit-to-answer latency.", telemetry.LatencyBuckets()),
-			queueDepth: reg.Gauge("dirq_serve_admission_queue_depth", "Queries drained per scheduler pass."),
+				"Wall-clock submit-to-answer query latency in seconds.", telemetry.LatencyBuckets()),
+			queueDepth: reg.Gauge("dirq_serve_admission_queue_depth", "Queries waiting in the bounded admission queue."),
 			inflight:   reg.Gauge("dirq_serve_inflight_queries", "Admitted queries inside their settle window."),
 		}
 	}
@@ -242,8 +262,18 @@ func (s *Shard) Config() ShardConfig { return s.cfg }
 // ChaosApplied/ChaosPending in Stats refer to.
 func (s *Shard) ChaosEvents() int { return len(s.chaos) }
 
+// Backlog reports the live admission-queue occupancy — the load signal
+// least-loaded routing reads. It is an instantaneous channel length, so
+// concurrent submitters may observe it stale by a few entries.
+func (s *Shard) Backlog() int { return len(s.admit) }
+
+// QueriesShed reports how many queries this shard refused with
+// ErrOverloaded since it was built.
+func (s *Shard) QueriesShed() int64 { return s.shed.Load() }
+
 // Submit queues one query and blocks until it is answered, the context
-// is canceled, or the shard shuts down.
+// is canceled, or the shard shuts down. If the admission queue is full
+// the query is shed immediately with ErrOverloaded instead of blocking.
 func (s *Shard) Submit(ctx context.Context, req Request) (*Response, error) {
 	var start int64
 	if s.cfg.Clock != nil {
@@ -264,12 +294,23 @@ func (s *Shard) submit(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 	pq := &pendingQuery{req: req, out: make(chan outcome, 1)}
+	// Non-blocking admission: a full queue sheds the query right here.
+	// Shutdown and cancellation are checked first so they win over both
+	// admission and shedding when several are ready at once.
 	select {
-	case s.admit <- pq:
 	case <-s.done:
 		return nil, ErrShuttingDown
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	default:
+	}
+	select {
+	case s.admit <- pq:
+		s.tel.queueDepth.Set(int64(len(s.admit)))
+	default:
+		s.shed.Add(1)
+		s.tel.shed.Inc()
+		return nil, ErrOverloaded
 	}
 	select {
 	case o := <-pq.out:
@@ -305,11 +346,14 @@ func (s *Shard) run(ctx context.Context) {
 		default:
 		}
 
-		// Drain everything currently queued, in arrival order.
+		// Drain queued queries in arrival order, at most MaxBatch per
+		// pass: the remainder stays queued (visible in Backlog and the
+		// queue-depth gauge) and is admitted on later passes, so a burst
+		// spreads across epoch boundaries instead of landing on one.
 		batch := carry
 		carry = nil
 	drain:
-		for {
+		for len(batch) < s.cfg.MaxBatch {
 			select {
 			case pq := <-s.admit:
 				batch = append(batch, pq)
@@ -318,7 +362,7 @@ func (s *Shard) run(ctx context.Context) {
 			}
 		}
 
-		s.tel.queueDepth.Set(int64(len(batch)))
+		s.tel.queueDepth.Set(int64(len(s.admit)))
 		s.mu.Lock()
 		// Admit the batch at the current epoch boundary.
 		for _, pq := range batch {
@@ -521,6 +565,7 @@ func (s *Shard) Stats() ShardStats {
 		Mode:            s.cfg.Scenario.Mode.String(),
 		QueriesServed:   s.served,
 		QueriesInjected: s.runner.QueriesInjected(),
+		QueriesShed:     s.shed.Load(),
 		QueryCost:       qc,
 		UpdateCost:      uc,
 		EstimateCost:    s.runner.Meter.ByClass(radio.ClassEstimate).Total(),

@@ -197,3 +197,55 @@ func TestMetricsEndpoints(t *testing.T) {
 		t.Error("/stats includes a server section without ServerInfo")
 	}
 }
+
+// TestServeMetricHelpTexts guards against copy-paste help strings: every
+// dirq_serve_* metric's help must actually describe the metric it is
+// attached to — it has to mention at least one word from the metric's own
+// name, and timing metrics must state their unit. (A past bug shipped
+// dirq_serve_admission_queue_depth with the drain-batch counter's help
+// text; that string mentions neither "admission", "queue", nor "depth"
+// and fails this test.)
+func TestServeMetricHelpTexts(t *testing.T) {
+	cfg := testShardConfig("help", 3)
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	if _, err := NewShard(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	checked := 0
+	for _, s := range reg.Snapshot() {
+		if !strings.HasPrefix(s.Name, "dirq_serve_") {
+			continue
+		}
+		checked++
+		if s.Help == "" {
+			t.Errorf("%s has no help text", s.Name)
+			continue
+		}
+		help := strings.ToLower(s.Help)
+		matched := false
+		for _, w := range strings.Split(strings.TrimPrefix(s.Name, "dirq_serve_"), "_") {
+			// "total"/"seconds" are unit suffixes, not subjects; short
+			// words ("le", "sum") are too ambiguous to anchor on.
+			if len(w) < 4 || w == "total" || w == "seconds" {
+				continue
+			}
+			// Prefix match so "queries" in the name matches "query" in
+			// prose and vice versa.
+			if strings.Contains(help, w[:4]) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s help %q does not mention anything from the metric name", s.Name, s.Help)
+		}
+		if strings.HasSuffix(s.Name, "_seconds") && !strings.Contains(help, "second") {
+			t.Errorf("%s help %q does not state the unit (seconds)", s.Name, s.Help)
+		}
+	}
+	if checked < 8 {
+		t.Errorf("only %d dirq_serve_ metrics checked, want >= 8", checked)
+	}
+}
