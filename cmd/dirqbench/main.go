@@ -9,12 +9,14 @@
 //     (fig6, headline table), reporting throughput as epochs/sec and
 //     simulated node-epochs/sec alongside ns/op and allocs/op;
 //   - scale: the large-N frontier — fixed-δ runs at 50 through 100 000
-//     nodes with epochs shrunk in proportion (constant node-epochs per
-//     point), plus an ungated ("naive") sibling at 1000 nodes whose ratio
-//     to the gated run is the activity-gating speedup, and sharded ("-s4")
-//     siblings at 5000+ nodes whose ratio to the serial run is the
-//     intra-run sharding speedup (or, on a single-core host, its merge
-//     overhead);
+//     nodes. Scale entries time the steady state only (construction runs
+//     under a stopped timer) and record construction separately as
+//     setup_ns_per_op plus bytes_per_node, the built simulation's live
+//     heap per node. Siblings: an ungated ("naive") run at 1000 nodes
+//     whose ratio to the gated run is the activity-gating speedup, and
+//     sharded ("-s4") runs at 5000+ nodes whose ratio to the serial run
+//     is the intra-run sharding speedup (or, on a single-core host, its
+//     merge overhead);
 //   - qps: the query-path throughput frontier — concurrent in-process
 //     clients against a live serve.Manager across a (shards ×
 //     settle-window × clients) grid, recording queries/sec, p50/p99
@@ -41,7 +43,11 @@
 // compares epochs/sec for every workload and scale benchmark present in
 // both at the same nodes/epochs scale, plus — for qps/ grid points at
 // identical (shards, settle, clients) coordinates — a qps floor and a
-// p99-latency ceiling derived from the same tolerance. If anything
+// p99-latency ceiling derived from the same tolerance. Scale benchmarks
+// additionally gate on memory: bytes_per_node may not exceed the
+// baseline's by more than the tolerance (plus a small absolute slack),
+// and at 5000+ nodes it may never exceed the 4 KB/node absolute budget
+// regardless of what the baseline recorded. If anything
 // regresses by more than -tolerance (fractional, default 0.30) — or
 // nothing is comparable — the exit status is nonzero. Substrate
 // micro-benches are reported for context but do not gate: they are too
@@ -70,6 +76,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -100,10 +107,16 @@ type File struct {
 	// CPUs (the host's runtime.NumCPU): together they make multi-core
 	// claims — e.g. the ≥2.5x s4-vs-serial sharding target — checkable
 	// from the artifact alone. Absent in files written before rev pr9.
-	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
-	Quick      bool    `json:"quick"`
-	Iterations int     `json:"iterations"`
-	Benchmarks []Entry `json:"benchmarks"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// MemTotalBytes is the host's physical memory (MemTotal from
+	// /proc/meminfo; 0 where unavailable). Recorded so the bytes-per-node
+	// column can be read against what the measuring host could actually
+	// hold — a 2.6 GB 100k-node footprint means something different on an
+	// 8 GB runner than on a 256 GB build box. Absent before rev pr10.
+	MemTotalBytes int64   `json:"mem_total_bytes,omitempty"`
+	Quick         bool    `json:"quick"`
+	Iterations    int     `json:"iterations"`
+	Benchmarks    []Entry `json:"benchmarks"`
 }
 
 // Entry is one benchmark's result. Nodes/Epochs (and the derived
@@ -121,6 +134,16 @@ type Entry struct {
 	Epochs           int64   `json:"epochs,omitempty"`
 	EpochsPerSec     float64 `json:"epochs_per_sec,omitempty"`
 	NodeEpochsPerSec float64 `json:"node_epochs_per_sec,omitempty"`
+
+	// Setup/steady split, present only for the scale/ group. Scale
+	// entries time the steady state alone (NsPerOp excludes construction,
+	// which runs under a stopped timer), so EpochsPerSec measures the
+	// per-epoch engine and not the build. SetupNsPerOp is one untimed
+	// construction of the same config, and BytesPerNode is its live heap
+	// footprint after a warmup step, per node — the number the large-N
+	// budget gate bounds. Absent in files written before rev pr10.
+	SetupNsPerOp float64 `json:"setup_ns_per_op,omitempty"`
+	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
 
 	// Query-path fields, present only for the qps/ group: the grid
 	// coordinates (Shards × SettleEpochs × Clients), answered queries
@@ -157,6 +180,9 @@ type spec struct {
 	// carries its grid coordinates into the Entry.
 	qps   func() (qpsResult, error)
 	point qpsPoint
+	// setup, when set (scale benches), measures one untimed construction:
+	// wall time and live bytes per node for the Entry's setup columns.
+	setup func() (nsPerOp, bytesPerNode float64, err error)
 }
 
 // scale returns the benchmark scale: the paper's §7 setup, or the reduced
@@ -168,9 +194,14 @@ func scale(quick bool) (nodes int, epochs int64) {
 	return 50, 20000
 }
 
-// scalePoints are the large-N workload sizes: epochs shrink in proportion
-// so every point simulates the same number of node-epochs (1M full scale,
-// 150k quick) and the column stays comparable.
+// scalePoints are the large-N workload sizes. Small rungs keep the
+// original constant-node-epochs sizing (1M full scale); the 25k and 100k
+// rungs run much longer horizons (12.5M and 60M node-epochs) — at their
+// old 40 and 10 epochs those rungs spent most of their wall time
+// constructing the network, so their "throughput" mostly measured the
+// build. With steady state timed on its own (runScale) and these
+// horizons, the steady phase is ≥ 80% of each full-scale iteration's
+// wall time and the column actually measures epochs.
 var scalePoints = []struct {
 	nodes          int
 	epochs         int64
@@ -181,9 +212,9 @@ var scalePoints = []struct {
 	{nodes: 50, epochs: 20000, quickEpochs: 3000},
 	{nodes: 250, epochs: 4000, quickEpochs: 600},
 	{nodes: 1000, epochs: 1000, quickEpochs: 150, includeNaive: true},
-	{nodes: 5000, epochs: 200, quickEpochs: 30, includeSharded: true},
-	{nodes: 25000, epochs: 40, quickEpochs: 6, includeSharded: true},
-	{nodes: 100000, epochs: 10, quickEpochs: 2, includeSharded: true},
+	{nodes: 5000, epochs: 1000, quickEpochs: 30, includeSharded: true},
+	{nodes: 25000, epochs: 500, quickEpochs: 20, includeSharded: true},
+	{nodes: 100000, epochs: 600, quickEpochs: 5, includeSharded: true},
 }
 
 // scaleScenario builds one large-N workload config: constant node density
@@ -201,6 +232,34 @@ func scenarioCfg(quick bool, mode scenario.ThresholdMode) scenario.Config {
 	cfg.NumNodes, cfg.Epochs = scale(quick)
 	cfg.Mode = mode
 	return cfg
+}
+
+// measureSetup builds cfg once, untimed, and reports the construction
+// wall time plus the built simulation's live heap per node. The footprint
+// is the GC-settled HeapAlloc delta around a build plus one warmup epoch,
+// so transient construction garbage does not count against the budget but
+// every retained per-node structure (windows, escape calendars, range
+// tables, MAC frame state, event queue) does.
+func measureSetup(cfg scenario.Config) (nsPerOp, bytesPerNode float64, err error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	r, err := scenario.Build(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	nsPerOp = float64(time.Since(t0).Nanoseconds())
+	r.Start()
+	r.Step(1)
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	live := float64(m1.HeapAlloc) - float64(m0.HeapAlloc)
+	runtime.KeepAlive(r)
+	if cfg.NumNodes > 0 && live > 0 {
+		bytesPerNode = live / float64(cfg.NumNodes)
+	}
+	return nsPerOp, bytesPerNode, nil
 }
 
 // telemetrySnapshot runs cfg once with a fresh registry and flattens the
@@ -256,13 +315,29 @@ func specs(quick bool) []spec {
 		}
 	}
 
+	// runScale times the steady state alone: construction happens under a
+	// stopped timer (on a recycled engine, as the sweeps do), so the
+	// recorded epochs/sec is the per-epoch engine's and a large-N point is
+	// not flattered or damned by its one-off build. Setup cost is measured
+	// separately (measureSetup) and recorded in its own columns.
 	runScale := func(b *testing.B, cfg scenario.Config) {
 		reg := telemetry.NewRegistry()
 		cfg.Telemetry = reg
+		engine := sim.NewEngine()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := scenario.Run(cfg); err != nil {
+			b.StopTimer()
+			r, err := scenario.BuildWithEngine(cfg, engine)
+			if err != nil {
 				b.Fatal(err)
 			}
+			// GC-settle before timing so each rung's GC behaviour depends
+			// only on its own live set, not on how much garbage earlier
+			// specs left behind (a large inherited heap raises the GC
+			// trigger and flatters whichever small rung runs next).
+			runtime.GC()
+			b.StartTimer()
+			r.Run()
 		}
 	}
 	var scaleSpecs []spec
@@ -278,8 +353,9 @@ func specs(quick bool) []spec {
 			// self-contained family (and at -quick the two differ).
 			name: fmt.Sprintf("scale/fixed-%d", sp.nodes), group: "scale",
 			nodes: sp.nodes, epochs: ep,
-			fn:   func(b *testing.B) { runScale(b, cfg) },
-			snap: func() (map[string]int64, error) { return telemetrySnapshot(cfg) },
+			fn:    func(b *testing.B) { runScale(b, cfg) },
+			snap:  func() (map[string]int64, error) { return telemetrySnapshot(cfg) },
+			setup: func() (float64, float64, error) { return measureSetup(cfg) },
 		})
 		if sp.includeNaive {
 			ncfg := scaleScenario(sp.nodes, ep, true)
@@ -289,8 +365,9 @@ func specs(quick bool) []spec {
 				// acceptance gate tracks.
 				name: fmt.Sprintf("scale/naive-%d", sp.nodes), group: "scale",
 				nodes: sp.nodes, epochs: ep,
-				fn:   func(b *testing.B) { runScale(b, ncfg) },
-				snap: func() (map[string]int64, error) { return telemetrySnapshot(ncfg) },
+				fn:    func(b *testing.B) { runScale(b, ncfg) },
+				snap:  func() (map[string]int64, error) { return telemetrySnapshot(ncfg) },
+				setup: func() (float64, float64, error) { return measureSetup(ncfg) },
 			})
 		}
 		if sp.includeSharded {
@@ -304,8 +381,9 @@ func specs(quick bool) []spec {
 				// read these entries.
 				name: fmt.Sprintf("scale/fixed-%d-s4", sp.nodes), group: "scale",
 				nodes: sp.nodes, epochs: ep,
-				fn:   func(b *testing.B) { runScale(b, scfg) },
-				snap: func() (map[string]int64, error) { return telemetrySnapshot(scfg) },
+				fn:    func(b *testing.B) { runScale(b, scfg) },
+				snap:  func() (map[string]int64, error) { return telemetrySnapshot(scfg) },
+				setup: func() (float64, float64, error) { return measureSetup(scfg) },
 			})
 		}
 	}
@@ -463,7 +541,40 @@ func measure(s spec, n int) Entry {
 		e.EpochsPerSec = float64(s.epochs) * 1e9 / e.NsPerOp
 		e.NodeEpochsPerSec = e.EpochsPerSec * float64(s.nodes)
 	}
+	if s.setup != nil {
+		ns, bpn, err := s.setup()
+		if err != nil {
+			log.Fatalf("%s: setup measurement: %v", s.name, err)
+		}
+		e.SetupNsPerOp = ns
+		e.BytesPerNode = bpn
+	}
 	return e
+}
+
+// memTotalBytes reports the host's physical memory (MemTotal from
+// /proc/meminfo), or 0 where the file is absent or unparsable (non-Linux
+// hosts): the env block then simply omits the field.
+func memTotalBytes() int64 {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "MemTotal:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
 }
 
 // detectRev resolves the revision tag for the output file name: the short
@@ -521,6 +632,10 @@ func (f *File) Validate() error {
 			return fmt.Errorf("benchmark %q: p99 %v below p50 %v", b.Name, b.P99Ms, b.P50Ms)
 		case b.Group != "qps" && b.QPS != 0:
 			return fmt.Errorf("benchmark %q: qps fields on a %s bench", b.Name, b.Group)
+		case b.SetupNsPerOp < 0 || b.BytesPerNode < 0:
+			return fmt.Errorf("benchmark %q: negative setup stats", b.Name)
+		case b.Group != "scale" && (b.SetupNsPerOp != 0 || b.BytesPerNode != 0):
+			return fmt.Errorf("benchmark %q: setup fields on a %s bench", b.Name, b.Group)
 		}
 		seen[b.Name] = true
 	}
@@ -568,6 +683,10 @@ func measureAll(all []spec, iters int) []Entry {
 				line += fmt.Sprintf("  %10.0f epochs/s  %12.0f node-epochs/s",
 					e.EpochsPerSec, e.NodeEpochsPerSec)
 			}
+			if e.BytesPerNode > 0 {
+				line += fmt.Sprintf("  setup %6.0f ms  %6.0f B/node",
+					e.SetupNsPerOp/1e6, e.BytesPerNode)
+			}
 		}
 		fmt.Fprintln(os.Stderr, line)
 		if s.snap != nil {
@@ -589,6 +708,22 @@ func measureAll(all []spec, iters int) []Entry {
 // the slack absorbs that while still catching the order-of-magnitude
 // blowups an unbounded admission queue produces under load.
 const p99SlackMs = 50
+
+// Scale benches gate on memory as well as speed. bytesPerNodeBudget is
+// the absolute live-heap budget per node (the ladder toward 1M nodes in
+// PERFORMANCE.md is priced against it): any scale point of at least
+// bytesPerNodeBudgetMinNodes nodes whose candidate bytes_per_node exceeds
+// it fails the gate outright, baseline or no baseline. Smaller rungs are
+// exempt — fixed per-simulation overhead (engine, registry, channel)
+// amortized over a handful of nodes dwarfs the true per-node state.
+// bpnSlackBytes is the absolute grace on the relative axis, mirroring
+// p99SlackMs: GC-settled footprints wobble a few cache lines run to run,
+// and a tight baseline must not turn that wobble into a red gate.
+const (
+	bytesPerNodeBudget         = 4096
+	bytesPerNodeBudgetMinNodes = 5000
+	bpnSlackBytes              = 256
+)
 
 // compare gates a candidate measurement against a baseline file: any
 // workload benchmark whose epochs/sec regressed by more than tolerance
@@ -683,13 +818,33 @@ func compare(basePath, candPath string, tolerance float64, iters int) error {
 			compared++
 			ratio := c.EpochsPerSec / b.EpochsPerSec
 			sumRatio += ratio
-			verdict := "ok"
+			var bad []string
 			if ratio < 1-tolerance {
-				verdict = "REGRESSION"
+				bad = append(bad, "epochs/s")
+			}
+			if b.Group == "scale" && c.BytesPerNode > 0 {
+				// Memory axes: relative to baseline (fractional ceiling plus
+				// absolute slack, like the qps p99 axis), and the hard
+				// per-node budget at large N.
+				if b.BytesPerNode > 0 && c.BytesPerNode > b.BytesPerNode/(1-tolerance) &&
+					c.BytesPerNode > b.BytesPerNode+bpnSlackBytes {
+					bad = append(bad, "bytes/node")
+				}
+				if c.Nodes >= bytesPerNodeBudgetMinNodes && c.BytesPerNode > bytesPerNodeBudget {
+					bad = append(bad, "budget")
+				}
+			}
+			verdict := "ok"
+			if len(bad) > 0 {
+				verdict = "REGRESSION(" + strings.Join(bad, "+") + ")"
 				regressed++
 			}
-			fmt.Printf("  %-24s %s  %9.0f -> %9.0f epochs/s (%+.1f%%)\n",
+			line := fmt.Sprintf("  %-24s %s  %9.0f -> %9.0f epochs/s (%+.1f%%)",
 				b.Name, verdict, b.EpochsPerSec, c.EpochsPerSec, (ratio-1)*100)
+			if b.BytesPerNode > 0 || c.BytesPerNode > 0 {
+				line += fmt.Sprintf("  %6.0f -> %6.0f B/node", b.BytesPerNode, c.BytesPerNode)
+			}
+			fmt.Println(line)
 		}
 	}
 	if compared == 0 {
@@ -784,16 +939,17 @@ func main() {
 	}
 
 	f := File{
-		Schema:     SchemaID,
-		Rev:        *rev,
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		CPUs:       runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Quick:      *quick,
-		Iterations: *iters,
+		Schema:        SchemaID,
+		Rev:           *rev,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		MemTotalBytes: memTotalBytes(),
+		Quick:         *quick,
+		Iterations:    *iters,
 	}
 
 	f.Benchmarks = measureAll(all, *iters)

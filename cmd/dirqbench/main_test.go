@@ -75,6 +75,10 @@ func TestValidateTable(t *testing.T) {
 			`benchmark "qps/s1-w4-c8": p99 0.05 below p50 0.1`},
 		{"qps fields on non-qps bench", func(f *File) { f.Benchmarks[2].QPS = 100 },
 			`benchmark "scale/fixed-1000": qps fields on a scale bench`},
+		{"negative setup stats", func(f *File) { f.Benchmarks[2].SetupNsPerOp = -1 },
+			`benchmark "scale/fixed-1000": negative setup stats`},
+		{"setup fields on non-scale bench", func(f *File) { f.Benchmarks[0].BytesPerNode = 2800 },
+			`benchmark "workloads/fixed": setup fields on a workload bench`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -197,6 +201,84 @@ func TestCompareQPSGate(t *testing.T) {
 			tc.mutate(&f)
 			cand := write("cand-"+strings.ReplaceAll(tc.name, " ", "-"), f)
 			err := compare(base, cand, 0.30, 1)
+			switch {
+			case tc.wantSub == "" && err != nil:
+				t.Fatalf("gate failed on a healthy candidate: %v", err)
+			case tc.wantSub != "" && err == nil:
+				t.Fatal("gate passed a regressed candidate")
+			case tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub):
+				t.Fatalf("gate error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestCompareScaleGate: the -compare scale axes — the epochs/s floor, the
+// relative bytes-per-node ceiling (with its absolute slack for small
+// heaps), and the baseline-independent hard budget at large N, which must
+// fire even when the committed baseline predates bytes_per_node or was
+// itself over budget.
+func TestCompareScaleGate(t *testing.T) {
+	dir := t.TempDir()
+	// Two scale rungs: a small one (relative axes only) and a large one
+	// (budget-eligible), both with the pr10 setup columns.
+	mkFile := func(smallBpn, largeBpn float64) File {
+		f := validFile()
+		f.Benchmarks = []Entry{
+			{Name: "scale/fixed-1000", Group: "scale", NsPerOp: 2e9, Runs: 3,
+				Nodes: 1000, Epochs: 1000, EpochsPerSec: 500, NodeEpochsPerSec: 5e5,
+				SetupNsPerOp: 5e6, BytesPerNode: smallBpn},
+			{Name: "scale/fixed-25000", Group: "scale", NsPerOp: 6e9, Runs: 3,
+				Nodes: 25000, Epochs: 500, EpochsPerSec: 80, NodeEpochsPerSec: 2e6,
+				SetupNsPerOp: 1.2e9, BytesPerNode: largeBpn},
+		}
+		return f
+	}
+	write := func(name string, f File) string {
+		t.Helper()
+		b, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base", mkFile(2800, 2820))
+	baseNoBpn := write("base-nobpn", mkFile(0, 0))     // pre-pr10 baseline shape
+	baseSlack := write("base-slack", mkFile(100, 100)) // tiny heaps: ratio is noise
+
+	cases := []struct {
+		name    string
+		base    string
+		mutate  func(*File)
+		wantSub string // substring of the compare error; "" means gate passes
+	}{
+		{"identical", base, func(f *File) {}, ""},
+		{"epochs-per-sec floor breach", base, func(f *File) { f.Benchmarks[0].EpochsPerSec = 300 },
+			"regressed"},
+		{"bytes-per-node regression breach", base, func(f *File) { f.Benchmarks[0].BytesPerNode = 4090 },
+			"regressed"},
+		{"bytes-per-node within absolute slack", baseSlack, func(f *File) {
+			// Ratio alone would breach (2× the baseline) but the absolute
+			// delta is under the slack — small-heap jitter must not gate.
+			f.Benchmarks[0].BytesPerNode = 200
+			f.Benchmarks[1].BytesPerNode = 200
+		}, ""},
+		{"hard budget breach at large N", base, func(f *File) { f.Benchmarks[1].BytesPerNode = 4200 },
+			"regressed"},
+		{"budget fires without baseline bytes", baseNoBpn, func(f *File) { f.Benchmarks[1].BytesPerNode = 4200 },
+			"regressed"},
+		{"no baseline bytes, candidate under budget", baseNoBpn, func(f *File) {}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := mkFile(2800, 2820)
+			tc.mutate(&f)
+			cand := write("cand-"+strings.ReplaceAll(tc.name, " ", "-"), f)
+			err := compare(tc.base, cand, 0.30, 1)
 			switch {
 			case tc.wantSub == "" && err != nil:
 				t.Fatalf("gate failed on a healthy candidate: %v", err)

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	dirqfuzz [-seeds 200] [-seed-base 0] [-oracles determinism,gating,...]
-//	         [-duration 10m] [-shrink] [-shrink-budget 150]
+//	         [-nodes N] [-duration 10m] [-shrink] [-shrink-budget 150]
 //	         [-corpus dir] [-workers N] [-v]
 //	dirqfuzz -replay internal/diffuzz/testdata/corpus   # re-run saved repros
 //
@@ -39,6 +39,7 @@ func main() {
 	var (
 		seeds        = flag.Int("seeds", 200, "number of consecutive seeds to fuzz")
 		seedBase     = flag.Uint64("seed-base", 0, "first seed of the range")
+		nodes        = flag.Int("nodes", 0, "force every case's network size (0: generator's ladder)")
 		oraclesFlag  = flag.String("oracles", "", "comma-separated oracle subset (default: all)")
 		duration     = flag.Duration("duration", 0, "wall-time budget; 0 means run every seed")
 		shrink       = flag.Bool("shrink", true, "minimize failing cases before reporting")
@@ -76,6 +77,7 @@ func main() {
 	opts := diffuzz.Options{
 		SeedBase:     *seedBase,
 		Seeds:        *seeds,
+		Nodes:        *nodes,
 		Oracles:      oracles,
 		Context:      ctx,
 		Shrink:       *shrink,

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/sensordata"
+	"repro/internal/topology"
 )
 
 // hotState is the protocol-owned struct-of-arrays view of everything the
@@ -115,6 +116,9 @@ func (p *Protocol) configureNode(i int) {
 			h.setAlwaysActive(i, t)
 		}
 	}
+	// The windows were rewritten outside the sweep→sample→refresh cycle,
+	// so the generator's escape calendar must re-examine this node.
+	p.gen.MarkWindowDirty(topology.NodeID(i))
 	p.rebuildTickList(i, h.gate[i] && needsTick)
 }
 

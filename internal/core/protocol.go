@@ -187,13 +187,35 @@ func New(engine *sim.Engine, mac *lmac.MAC, channel *radio.Channel,
 		records: map[int64]*QueryRecord{}, predictor: pred,
 		deadSeen: map[topology.NodeID]bool{}, orphaned: map[topology.NodeID]bool{},
 	}
+	// Node state is built in one pass over two backing arrays (all Node
+	// structs, then all mounted Volatility estimators) instead of per-node
+	// heap objects — at 100k nodes this is the difference between a
+	// handful of allocations and half a million.
 	p.nodes = make([]*Node, gen.NumNodes())
+	backing := make([]Node, gen.NumNodes())
+	nvol := 0
+	for i := range backing {
+		nvol += mounted[i].Len()
+	}
+	vols := make([]sensordata.Volatility, nvol) // zero value = DefaultAlpha
+	vc := 0
 	for i := range p.nodes {
 		id := topology.NodeID(i)
-		p.nodes[i] = NewNode(id, mounted[i], cfg.Controllers(id), mac, p)
-		p.nodes[i].SetTrace(cfg.Trace)
-		p.nodes[i].msgPool = &p.updPool
-		p.nodes[i].telUpdates = cfg.Telemetry.TuplesSent
+		nd := &backing[i]
+		nd.id = id
+		nd.mounted = mounted[i]
+		nd.ctrl = cfg.Controllers(id)
+		nd.transport = mac
+		nd.observer = p
+		nd.lastEstimateSeq = -1
+		for _, t := range mounted[i].Types() {
+			nd.vol[t] = &vols[vc]
+			vc++
+		}
+		nd.SetTrace(cfg.Trace)
+		nd.msgPool = &p.updPool
+		nd.telUpdates = cfg.Telemetry.TuplesSent
+		p.nodes[i] = nd
 	}
 	// Tree wiring: parents and child lists.
 	for _, id := range tree.Nodes() {
@@ -210,6 +232,7 @@ func New(engine *sim.Engine, mac *lmac.MAC, channel *radio.Channel,
 			p.hot.deployed[i] = true
 		} else {
 			p.hot.parkNode(i)
+			p.gen.MarkWindowDirty(topology.NodeID(i))
 		}
 	}
 	// Sharded-engine wiring: subtree partition, per-shard message pools,
@@ -238,11 +261,7 @@ func New(engine *sim.Engine, mac *lmac.MAC, channel *radio.Channel,
 	}
 	// MAC wiring: deliveries and cross-layer notifications.
 	for i := range p.nodes {
-		id := topology.NodeID(i)
-		node := p.nodes[i]
-		mac.Listen(id, func(from topology.NodeID, msg any) {
-			node.HandleMessage(from, msg)
-		})
+		mac.Listen(topology.NodeID(i), p.nodes[i].HandleMessage)
 	}
 	mac.OnNeighborDead(p.onNeighborDead)
 	mac.OnNeighborNew(func(at, fresh topology.NodeID) {})
@@ -497,10 +516,12 @@ func (p *Protocol) onNeighborDead(at, dead topology.NodeID) {
 	if !p.tree.Contains(dead) {
 		p.deadSeen[dead] = true
 		p.hot.parkNode(int(dead)) // dead orphan: out of the epoch loop
+		p.gen.MarkWindowDirty(dead)
 		return
 	}
 	p.deadSeen[dead] = true
 	p.hot.parkNode(int(dead))
+	p.gen.MarkWindowDirty(dead)
 	p.hot.deployed[dead] = false
 
 	par2 := topology.NodeID(-1)
@@ -541,10 +562,7 @@ func (p *Protocol) JoinNode(id topology.NodeID, mounted sensordata.TypeSet) erro
 	} else {
 		p.nodes[id].msgPool = &p.updPool
 	}
-	node := p.nodes[id]
-	p.mac.Listen(id, func(from topology.NodeID, msg any) {
-		node.HandleMessage(from, msg)
-	})
+	p.mac.Listen(id, p.nodes[id].HandleMessage)
 	p.mac.Join(id)
 	delete(p.deadSeen, id)
 	p.orphaned[id] = true
@@ -626,6 +644,11 @@ func (p *Protocol) RetuneAll(pct float64) int {
 			rt.Retune(pct)
 			n++
 		}
+	}
+	if n > 0 {
+		// A retune may rewrite tuples (and thus sweep windows) wholesale;
+		// force the escape calendar to re-examine everything once.
+		p.gen.InvalidateWindows()
 	}
 	p.cfg.Telemetry.Retunes.Add(int64(n))
 	return n

@@ -20,6 +20,10 @@ type Options struct {
 	Seeds int
 	// Oracles selects which oracles run per case; nil means AllOracles.
 	Oracles []string
+	// Nodes, when positive, forces every case's network to this size via
+	// GenerateSized — the focused large-N pass. 0 keeps the generator's
+	// own size ladder.
+	Nodes int
 	// Context, when non-nil, bounds the campaign: seeds not yet started
 	// when it is done are skipped (reported in Summary.Skipped). The
 	// deadline lives here rather than in a duration knob so this package
@@ -127,7 +131,7 @@ func Fuzz(o Options) (*Summary, error) {
 					skipped.Add(1)
 					continue
 				}
-				c := Generate(seed)
+				c := GenerateSized(seed, o.Nodes)
 				cases.Add(1)
 				for _, name := range oracles {
 					runs.Add(1)

@@ -32,7 +32,8 @@ type queuedMsg struct {
 	broadcast bool
 }
 
-// nodeState is the per-node MAC state.
+// nodeState is the per-node MAC state. Neighbor liveness lives in the
+// MAC's flat edge-parallel lastHeard array, not here.
 type nodeState struct {
 	id         topology.NodeID
 	slot       int
@@ -41,9 +42,11 @@ type nodeState struct {
 	// spare is the queue buffer flushed last frame, kept for reuse: queue
 	// and spare ping-pong so steady-state traffic never reallocates.
 	spare []queuedMsg
-	// neighbor liveness: last frame a beacon was heard, per neighbor.
-	lastHeard map[topology.NodeID]int64
 }
+
+// unheard is the lastHeard sentinel for "this neighbor is not in the
+// node's MAC table".
+const unheard = int64(-1) << 62
 
 // MAC is the link layer for the whole network. A single object manages all
 // nodes' MAC state; per-node behaviour remains strictly local (each node
@@ -68,8 +71,21 @@ type MAC struct {
 	// caller's targets into a pooled slice, and the flush returns it after
 	// transmission.
 	targetFree [][]topology.NodeID
-	// deadScratch is reused by the per-frame liveness sweep.
-	deadScratch []topology.NodeID
+	// deadScratch/deadPosScratch are reused by the per-frame liveness
+	// sweep (dead neighbor IDs and their edge positions).
+	deadScratch    []topology.NodeID
+	deadPosScratch []int32
+
+	// Flat neighbor-table index. The channel graph is static for the
+	// MAC's lifetime, so per-(node, neighbor) liveness stamps live in one
+	// edge-parallel array instead of a map per node: entry adjOff[i]+k is
+	// node i's stamp for its k-th (sorted) radio neighbor adjFlat[...],
+	// and revEdge maps each directed edge to its reverse so a beacon
+	// updates every receiver's table with one indexed store.
+	adjOff    []int32
+	adjFlat   []topology.NodeID
+	revEdge   []int32
+	lastHeard []int64
 
 	// Quiescent-frame machinery. While the membership is steady (no kill,
 	// join or power flip in flight) a frame only needs to visit nodes with
@@ -147,15 +163,37 @@ func New(engine *sim.Engine, channel *radio.Channel) (*MAC, error) {
 	maxSlot := 0
 	for i := range m.nodes {
 		m.nodes[i] = nodeState{
-			id:        topology.NodeID(i),
-			slot:      slots[i],
-			lastHeard: map[topology.NodeID]int64{},
+			id:   topology.NodeID(i),
+			slot: slots[i],
 		}
 		if slots[i] > maxSlot {
 			maxSlot = slots[i]
 		}
 	}
 	m.slots = maxSlot + 1
+	// Flat neighbor-table index over the (static) channel graph.
+	n := g.Len()
+	m.adjOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		m.adjOff[i+1] = m.adjOff[i] + int32(g.Degree(topology.NodeID(i)))
+	}
+	m.adjFlat = make([]topology.NodeID, m.adjOff[n])
+	m.revEdge = make([]int32, m.adjOff[n])
+	m.lastHeard = make([]int64, m.adjOff[n])
+	for i := 0; i < n; i++ {
+		copy(m.adjFlat[m.adjOff[i]:m.adjOff[i+1]], g.Neighbors(topology.NodeID(i)))
+	}
+	for i := 0; i < n; i++ {
+		row := m.adjFlat[m.adjOff[i]:m.adjOff[i+1]]
+		for k, nb := range row {
+			nbRow := m.adjFlat[m.adjOff[nb]:m.adjOff[nb+1]]
+			p := sort.Search(len(nbRow), func(j int) bool { return nbRow[j] >= topology.NodeID(i) })
+			m.revEdge[int(m.adjOff[i])+k] = m.adjOff[nb] + int32(p)
+		}
+	}
+	for e := range m.lastHeard {
+		m.lastHeard[e] = unheard
+	}
 	m.order = make([]topology.NodeID, len(m.nodes))
 	for i := range m.order {
 		m.order[i] = topology.NodeID(i)
@@ -215,9 +253,11 @@ func (m *MAC) materialize() {
 		if !st.registered || !m.channel.Alive(st.id) {
 			continue
 		}
-		for _, nb := range m.channel.Graph().Neighbors(st.id) {
+		off := m.adjOff[i]
+		row := m.adjFlat[off:m.adjOff[i+1]]
+		for k, nb := range row {
 			if m.nodes[nb].registered && m.channel.Alive(nb) {
-				st.lastHeard[nb] = m.frame - 1
+				m.lastHeard[int(off)+k] = m.frame - 1
 			}
 		}
 	}
@@ -344,12 +384,15 @@ func (m *MAC) putTargets(buf []topology.NodeID) {
 func (m *MAC) register(id topology.NodeID) {
 	st := &m.nodes[id]
 	st.registered = true
-	st.lastHeard = map[topology.NodeID]int64{}
-	for _, nb := range m.channel.Graph().Neighbors(id) {
+	off := m.adjOff[id]
+	row := m.adjFlat[off:m.adjOff[id+1]]
+	for k, nb := range row {
 		if m.channel.Alive(nb) {
 			// Primed as "heard just before this frame": a neighbor that
 			// stays silent in the current frame has missed one frame.
-			st.lastHeard[nb] = m.frame - 1
+			m.lastHeard[int(off)+k] = m.frame - 1
+		} else {
+			m.lastHeard[int(off)+k] = unheard
 		}
 	}
 }
@@ -389,12 +432,14 @@ func (m *MAC) OnNeighborNew(fn func(at, fresh topology.NodeID)) { m.onNew = fn }
 // Neighbors returns the sorted live-neighbor view of a node's MAC table.
 func (m *MAC) Neighbors(id topology.NodeID) []topology.NodeID {
 	m.materialize()
-	st := &m.nodes[id]
-	out := make([]topology.NodeID, 0, len(st.lastHeard))
-	for nb := range st.lastHeard {
-		out = append(out, nb)
+	off := m.adjOff[id]
+	row := m.adjFlat[off:m.adjOff[id+1]]
+	out := make([]topology.NodeID, 0, len(row))
+	for k, nb := range row { // row is sorted, so out is too
+		if m.lastHeard[int(off)+k] != unheard {
+			out = append(out, nb)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -535,16 +580,19 @@ func (m *MAC) runFullFrame() {
 			continue // never joined, or died earlier within this very frame
 		}
 		// Beacon: every live radio neighbor hears us (un-metered control).
-		for _, nb := range m.channel.Graph().Neighbors(id) {
+		// revEdge locates our entry in each receiver's table directly.
+		off := m.adjOff[id]
+		row := m.adjFlat[off:m.adjOff[id+1]]
+		for k, nb := range row {
 			if !m.channel.Alive(nb) || !m.nodes[nb].registered {
 				continue
 			}
-			nbSt := &m.nodes[nb]
-			if _, known := nbSt.lastHeard[id]; !known && m.onNew != nil {
-				nbSt.lastHeard[id] = m.frame
+			w := m.revEdge[int(off)+k]
+			if m.lastHeard[w] == unheard && m.onNew != nil {
+				m.lastHeard[w] = m.frame
 				m.onNew(nb, id)
 			} else {
-				nbSt.lastHeard[id] = m.frame
+				m.lastHeard[w] = m.frame
 			}
 		}
 		if len(st.queue) > 0 {
@@ -552,31 +600,33 @@ func (m *MAC) runFullFrame() {
 		}
 	}
 
-	// Post-frame liveness sweep.
+	// Post-frame liveness sweep. Adjacency rows are sorted, so deaths are
+	// collected — and onDead notifications fire — in ascending neighbor
+	// order, which keeps same-frame tree surgery deterministic.
 	for i := range m.nodes {
 		st := &m.nodes[i]
 		if !st.registered || !m.channel.Alive(topology.NodeID(i)) {
 			continue
 		}
-		// Sweep in sorted neighbour order: map iteration order would
-		// randomize which same-frame death fires onDead first, making
-		// the tree surgery — and the whole run — nondeterministic.
 		dead := m.deadScratch[:0]
-		for nb, last := range st.lastHeard {
-			if m.frame-last >= m.deadThreshold {
+		deadPos := m.deadPosScratch[:0]
+		off := m.adjOff[i]
+		row := m.adjFlat[off:m.adjOff[i+1]]
+		for k, nb := range row {
+			last := m.lastHeard[int(off)+k]
+			if last != unheard && m.frame-last >= m.deadThreshold {
 				dead = append(dead, nb)
+				deadPos = append(deadPos, off+int32(k))
 			}
 		}
-		if len(dead) > 1 {
-			sort.Slice(dead, func(a, b int) bool { return dead[a] < dead[b] })
-		}
-		for _, nb := range dead {
-			delete(st.lastHeard, nb)
+		for k, nb := range dead {
+			m.lastHeard[deadPos[k]] = unheard
 			if m.onDead != nil {
 				m.onDead(topology.NodeID(i), nb)
 			}
 		}
 		m.deadScratch = dead[:0]
+		m.deadPosScratch = deadPos[:0]
 	}
 	m.frame++
 }
@@ -633,20 +683,30 @@ func AssignSlots(g *topology.Graph) ([]int, error) {
 	if len(order) != n {
 		return nil, fmt.Errorf("lmac: graph is not connected (%d of %d reachable)", len(order), n)
 	}
+	// Generation-stamped "used" marks replace a per-node map: one shared
+	// slice, reset by bumping the generation counter.
+	usedStamp := make([]int32, 64)
+	gen := int32(0)
+	mark := func(s int) {
+		for s >= len(usedStamp) {
+			usedStamp = append(usedStamp, 0)
+		}
+		usedStamp[s] = gen
+	}
 	for _, id := range order {
-		used := map[int]bool{}
+		gen++
 		for _, nb := range g.Neighbors(id) {
 			if slots[nb] >= 0 {
-				used[slots[nb]] = true
+				mark(slots[nb])
 			}
 			for _, nb2 := range g.Neighbors(nb) {
 				if nb2 != id && slots[nb2] >= 0 {
-					used[slots[nb2]] = true
+					mark(slots[nb2])
 				}
 			}
 		}
 		s := 0
-		for used[s] {
+		for s < len(usedStamp) && usedStamp[s] == gen {
 			s++
 		}
 		slots[id] = s

@@ -1,0 +1,30 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestBuildAllocBound pins full-stack construction to a small constant
+// number of allocations per node. Measured ~4.9 allocs/node at 5000
+// nodes when flattened construction landed (PR 10): node state, window
+// state, MAC slot/adjacency state and the spanning tree all build out of
+// backing arrays, so what remains is per-node controllers, listener
+// registrations and child-list growth. The map-per-node construction
+// this replaced sat at an order of magnitude more; the ceiling catches
+// any slide back long before it shows up as a large-N setup cliff.
+func TestBuildAllocBound(t *testing.T) {
+	const n = 5000
+	cfg := ScaleDefault(n)
+	allocs := testing.AllocsPerRun(2, func() {
+		if _, err := Build(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const perNodeCeiling = 8
+	if allocs > float64(perNodeCeiling*n) {
+		t.Fatalf("scenario.Build at %d nodes: %.0f allocs (%.2f/node), ceiling %d/node",
+			n, allocs, allocs/n, perNodeCeiling)
+	}
+	t.Logf("scenario.Build at %d nodes: %.0f allocs (%.2f/node, ceiling %d/node)",
+		n, allocs, allocs/n, perNodeCeiling)
+}

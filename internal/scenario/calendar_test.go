@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestQuiescentSweepExaminationsScaleWithActiveSet pins the escape-time
+// calendar's central promise: on a quiescent network the per-epoch sweep
+// examines O(active set) (node, type) windows, not O(all mounted).
+//
+// The scenario makes quiescence structural — a wide fixed threshold
+// (50% of each type's span) parks almost every node, so the worklist
+// runs near-empty. dirq_field_sweep_refutations_total counts windows the
+// sweep examined and proved quiet; under the pre-calendar full scan it
+// grew by (mounted windows) every epoch no matter how quiet the network
+// was (1.2M over this run), while the calendar only examines windows
+// whose accumulated field motion could have crossed their recorded
+// margin. The two assertions pin the shape from both ends: examinations
+// must stay an order of magnitude under the full-scan count, and must be
+// bounded by an affine function of the active set plus a small per-epoch
+// due-churn allowance (the deterministic run makes the measured totals
+// exact, so the margins only absorb intentional future dynamics changes).
+func TestQuiescentSweepExaminationsScaleWithActiveSet(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := ScaleDefault(1000)
+	cfg.Epochs = 300
+	cfg.Mode = FixedDelta
+	cfg.FixedPct = 50
+	cfg.Telemetry = reg
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	vals := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		if s.Kind != telemetry.KindHistogram {
+			vals[s.Name] += int64(s.Value)
+		}
+	}
+	epochs := vals["dirq_epochs_total"]
+	active := vals["dirq_core_active_nodes_total"]
+	refutes := vals["dirq_field_sweep_refutations_total"]
+	hits := vals["dirq_field_sweep_hits_total"]
+	if epochs <= 0 || refutes <= 0 {
+		t.Fatalf("telemetry did not record the run: epochs=%d refutes=%d", epochs, refutes)
+	}
+	examined := refutes + hits
+
+	// All nodes mount all 4 types here, so a full scan examines 4N
+	// windows per epoch. Measured: ~30k examinations vs 1.2M full-scan
+	// over the run (about 100/epoch against an active total of ~1.4k).
+	fullScan := epochs * int64(cfg.NumNodes) * 4
+	if examined*10 > fullScan {
+		t.Fatalf("quiescent sweep examined %d windows over %d epochs — more than a tenth of the %d a full scan would (active total %d)",
+			examined, epochs, fullScan, active)
+	}
+	if bound := 16*active + 48*epochs; examined > bound {
+		t.Fatalf("quiescent sweep examined %d windows; O(active) bound is %d (active total %d over %d epochs)",
+			examined, bound, active, epochs)
+	}
+	t.Logf("examined %d windows over %d epochs (active total %d, full scan %d)",
+		examined, epochs, active, fullScan)
+}

@@ -3,6 +3,7 @@ package sensordata
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/sim"
@@ -140,6 +141,23 @@ type typeField struct {
 	dayEpoch int64 // epoch dayVal is valid for; -1 = stale
 	dayVal   float64
 	cumBound float64
+
+	// Escape-calendar state (see escape.go): escA is the monotone
+	// accumulator bounding how much ANY node's value can have moved in
+	// total (plume motion + worst-case noise delta + diurnal delta);
+	// lastDay is the previous epoch's diurnal term, the baseline for the
+	// diurnal delta.
+	escA    float64
+	lastDay float64
+}
+
+// dayAt computes the type's diurnal term for an epoch from scratch.
+func (f *typeField) dayAt(epoch int64) float64 {
+	if f.params.PeriodEpoch <= 0 {
+		return 0
+	}
+	return f.params.DiurnalAmp *
+		math.Sin(2*math.Pi*float64(epoch)/float64(f.params.PeriodEpoch)+f.phase)
 }
 
 // day returns the type's diurnal term for the given epoch, cached so the
@@ -147,11 +165,7 @@ type typeField struct {
 func (f *typeField) day(epoch int64) float64 {
 	if f.dayEpoch != epoch {
 		f.dayEpoch = epoch
-		f.dayVal = 0
-		if f.params.PeriodEpoch > 0 {
-			f.dayVal = f.params.DiurnalAmp *
-				math.Sin(2*math.Pi*float64(epoch)/float64(f.params.PeriodEpoch)+f.phase)
-		}
+		f.dayVal = f.dayAt(epoch)
 	}
 	return f.dayVal
 }
@@ -182,6 +196,22 @@ type Generator struct {
 	// per-type field streams. Nil means serial.
 	workers *sim.Workers
 
+	// Escape-calendar state (see escape.go). nextT[t*N+i] is the escA
+	// threshold at which (node i, type t) must be re-examined: NaN = due
+	// but not yet examined, +Inf = never (until dirtied). The due set is
+	// recomputed once per epoch by escDrain and shared by every sweep of
+	// that epoch.
+	nextT     []float64
+	esc       [NumTypes]escCalendar
+	escEpoch  int64 // epoch the due set below is valid for
+	escAllDue bool  // next drain marks everything due
+	forced    []int32
+	dueNodes  []int32 // this epoch's due set, ascending
+	dueStamp  []int64 // per node: epoch it was last marked due
+	dueMask   []uint8 // per node: due type bits (valid when stamp matches)
+	prevDue   []int32 // previous drain's due set (compact)
+	prevMask  []uint8 // previous drain's due bits, parallel to prevDue
+
 	tel Telemetry
 }
 
@@ -195,7 +225,10 @@ type Telemetry struct {
 	// SweepHits counts nodes ActiveSweep could NOT prove quiet (appended
 	// to the worklist).
 	SweepHits *telemetry.Counter
-	// SweepRefutes counts nodes ActiveSweep proved quiet (skipped).
+	// SweepRefutes counts nodes ActiveSweep examined and proved quiet.
+	// With the escape calendar, nodes whose deadline has not arrived are
+	// skipped without being examined or counted, so on a quiescent epoch
+	// this stays O(active set), not O(N).
 	SweepRefutes *telemetry.Counter
 }
 
@@ -288,6 +321,7 @@ func NewGenerator(positions []topology.Position, rng *sim.RNG) *Generator {
 		}
 		g.fields[t] = f
 	}
+	g.escInit()
 	g.compute()
 	return g
 }
@@ -314,6 +348,7 @@ func (g *Generator) invalidate() {
 	for _, t := range AllTypes() {
 		g.fields[t].dayEpoch = -1
 	}
+	g.escInvalidate()
 }
 
 // Params returns the current field parameters of one sensor type.
@@ -424,11 +459,24 @@ func (g *Generator) stepType(t Type) {
 		}
 		motion += b
 	}
+	maxNoiseDelta := 0.0
 	for i := range f.noise {
-		f.noise[i] = p.NoisePhi*f.noise[i] + f.rng.NormFloat64()*p.NoiseSigma
+		old := f.noise[i]
+		nv := p.NoisePhi*old + f.rng.NormFloat64()*p.NoiseSigma
+		f.noise[i] = nv
+		if d := math.Abs(nv - old); d > maxNoiseDelta {
+			maxNoiseDelta = d
+		}
 	}
 	f.cumBound += motion
-	f.dayEpoch = -1
+	// Grow the escape accumulator by this epoch's total motion budget and
+	// eagerly seed the diurnal cache (same deterministic value the lazy
+	// fill would compute).
+	nd := f.dayAt(g.epoch)
+	f.escA += motion + maxNoiseDelta + math.Abs(nd-f.lastDay)
+	f.lastDay = nd
+	f.dayEpoch = g.epoch
+	f.dayVal = nd
 }
 
 // reflect folds v back into [0, limit].
@@ -497,7 +545,17 @@ func (g *Generator) compute() {
 // A node missing from the result is guaranteed to read a value inside its
 // window this epoch, so skipping its hysteresis check is behaviour-
 // preserving, not an approximation.
+//
+// The sweep consumes the escape calendar (see escape.go): only nodes
+// whose re-examination deadline has arrived are examined, with the exact
+// predicate the full scan used, so the result is byte-identical while the
+// per-epoch cost is O(active + due). This imposes a window-stability
+// contract: between sweeps, callers may rewrite windows only for nodes
+// the previous sweep reported active (the usual sweep→sample→refresh
+// cycle), or must announce the rewrite with MarkWindowDirty /
+// InvalidateWindows.
 func (g *Generator) ActiveSweep(t Type, lo, hi []float64, dst []int32) []int32 {
+	g.escDrain()
 	f := g.fields[t]
 	n := len(g.positions)
 	base := f.params.Base + f.day(g.epoch)
@@ -508,8 +566,18 @@ func (g *Generator) ActiveSweep(t Type, lo, hi []float64, dst []int32) []int32 {
 	noise, bias := f.noise, f.bias
 	snapP := g.snapPlume[int(t)*n : int(t)*n+n]
 	snapC := g.snapCum[int(t)*n : int(t)*n+n]
+	nextT := g.nextT[int(t)*n : int(t)*n+n]
+	A := f.escA
+	safety := escSafetyMargins[t]
+	bit := uint8(1) << uint(t)
 	start := len(dst)
-	for i := 0; i < n; i++ {
+	examined := 0
+	for _, id := range g.dueNodes {
+		if g.dueMask[id]&bit == 0 {
+			continue
+		}
+		examined++
+		i := int(id)
 		dev := cum - snapC[i]
 		c := base + noise[i] + bias[i] + snapP[i]
 		vlo, vhi := c-dev, c+dev
@@ -521,11 +589,23 @@ func (g *Generator) ActiveSweep(t Type, lo, hi []float64, dst []int32) []int32 {
 		}
 		if vlo < lo[i] || vhi > hi[i] {
 			dst = append(dst, int32(i))
+			nextT[i] = A // active: re-examine next epoch
+		} else {
+			m := vlo - lo[i]
+			if d := hi[i] - vhi; d < m {
+				m = d
+			}
+			// m is +Inf for unreachable windows: parked until dirtied.
+			T := A + m - safety
+			if !(T > A) {
+				T = A
+			}
+			nextT[i] = T
 		}
 	}
 	hits := len(dst) - start
 	g.tel.SweepHits.Add(int64(hits))
-	g.tel.SweepRefutes.Add(int64(n - hits))
+	g.tel.SweepRefutes.Add(int64(examined - hits))
 	return dst
 }
 
@@ -537,6 +617,9 @@ func (g *Generator) PrepareConcurrentReads() {
 	for _, t := range AllTypes() {
 		g.fields[t].day(g.epoch)
 	}
+	// Resolve this epoch's due set serially so concurrent
+	// ActiveSweepRange callers only read the calendar.
+	g.escDrain()
 }
 
 // ActiveSweepRange is the shard-parallel form of ActiveSweep: it applies
@@ -550,12 +633,16 @@ func (g *Generator) PrepareConcurrentReads() {
 //
 // mask entries for quiet nodes are left untouched (the serial path only
 // defines mask for active nodes too). Requires PrepareConcurrentReads for
-// the current epoch when ranges run concurrently. Telemetry totals match
-// the serial sweep: per-type hits/refutes over this range are added to
-// the (atomic) counters.
+// the current epoch when ranges run concurrently — it also resolves the
+// epoch's escape-calendar due set, which concurrent ranges only read.
+// Telemetry totals match the serial sweep: per-type hits and
+// examined-but-quiet refutes over this range are added to the (atomic)
+// counters. The window-stability contract documented on ActiveSweep
+// applies here too.
 func (g *Generator) ActiveSweepRange(lo, hi *[NumTypes][]float64, mask []uint8, from, to int, dst []int32) []int32 {
+	g.escDrain()
 	n := len(g.positions)
-	var base, cum, spanLo, spanHi [NumTypes]float64
+	var base, cum, spanLo, spanHi, A [NumTypes]float64
 	var noise, bias, snapP, snapC [NumTypes][]float64
 	for _, t := range AllTypes() {
 		f := g.fields[t]
@@ -565,11 +652,21 @@ func (g *Generator) ActiveSweepRange(lo, hi *[NumTypes][]float64, mask []uint8, 
 		noise[t], bias[t] = f.noise, f.bias
 		snapP[t] = g.snapPlume[int(t)*n : int(t)*n+n]
 		snapC[t] = g.snapCum[int(t)*n : int(t)*n+n]
+		A[t] = f.escA
 	}
-	var hits [NumTypes]int64
-	for i := from; i < to; i++ {
+	var hits, examined [NumTypes]int64
+	due := g.dueNodes
+	p := sort.Search(len(due), func(k int) bool { return int(due[k]) >= from })
+	for ; p < len(due) && int(due[p]) < to; p++ {
+		i := int(due[p])
+		dm := g.dueMask[i]
 		var m uint8
 		for _, t := range AllTypes() {
+			bit := uint8(1) << uint(t)
+			if dm&bit == 0 {
+				continue
+			}
+			examined[t]++
 			dev := cum[t] - snapC[t][i]
 			c := base[t] + noise[t][i] + bias[t][i] + snapP[t][i]
 			vlo, vhi := c-dev, c+dev
@@ -580,8 +677,19 @@ func (g *Generator) ActiveSweepRange(lo, hi *[NumTypes][]float64, mask []uint8, 
 				vhi = spanHi[t]
 			}
 			if vlo < lo[t][i] || vhi > hi[t][i] {
-				m |= 1 << uint(t)
+				m |= bit
 				hits[t]++
+				g.nextT[int(t)*n+i] = A[t]
+			} else {
+				mg := vlo - lo[t][i]
+				if d := hi[t][i] - vhi; d < mg {
+					mg = d
+				}
+				T := A[t] + mg - escSafetyMargins[t]
+				if !(T > A[t]) {
+					T = A[t]
+				}
+				g.nextT[int(t)*n+i] = T
 			}
 		}
 		if m != 0 {
@@ -591,7 +699,7 @@ func (g *Generator) ActiveSweepRange(lo, hi *[NumTypes][]float64, mask []uint8, 
 	}
 	for _, t := range AllTypes() {
 		g.tel.SweepHits.Add(hits[t])
-		g.tel.SweepRefutes.Add(int64(to-from) - hits[t])
+		g.tel.SweepRefutes.Add(examined[t] - hits[t])
 	}
 	return dst
 }

@@ -1,0 +1,37 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestConnectUnitDiskAllocBound pins the CSR adjacency build to a handful
+// of allocations regardless of node count: grid buckets, the offset
+// table, and one shared edge arena. Measured 9 allocations at 5000 nodes
+// when the two-pass builder landed (PR 10); the per-row sorted-insert
+// construction it replaced allocated per edge, so any slide back toward
+// per-row growth blows this ceiling immediately.
+func TestConnectUnitDiskAllocBound(t *testing.T) {
+	const n = 5000
+	rng := sim.NewRNG(7).Stream("place")
+	g, err := PlaceRandom(PlacementConfig{
+		N: n, Width: 1000, Height: 1000, RadioRange: 25,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]Position, g.Len())
+	for i := range pos {
+		pos[i] = g.Pos(NodeID(i))
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		fresh := NewGraph(pos)
+		fresh.ConnectUnitDisk(25)
+	})
+	const ceiling = 64
+	if allocs > ceiling {
+		t.Fatalf("NewGraph+ConnectUnitDisk at %d nodes: %.0f allocs, ceiling %d", n, allocs, ceiling)
+	}
+	t.Logf("NewGraph+ConnectUnitDisk at %d nodes: %.0f allocs (ceiling %d)", n, allocs, ceiling)
+}

@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -147,41 +148,116 @@ func removeSorted(s []NodeID, v NodeID) []NodeID {
 }
 
 // ConnectUnitDisk adds an edge between every pair of nodes within radio
-// range r of each other. Nodes are hashed into r×r grid cells so each
-// node only examines its 3×3 cell neighborhood — O(N + edges) for
-// bounded densities instead of the all-pairs O(N²), which is what makes
-// 100k-node placement tractable. The edge set is exactly the all-pairs
-// one, and sorted adjacency insertion makes the resulting graph
-// independent of discovery order.
+// range r of each other. Nodes are counting-sorted into grid cells of
+// side ≥ r so each node only examines its 3×3 cell neighborhood —
+// O(N + edges) for bounded densities instead of the all-pairs O(N²),
+// which is what makes 100k-node placement tractable. The adjacency is
+// built CSR-style in two passes (count degrees, then fill one shared
+// edge arena) so the whole build costs a handful of allocations rather
+// than per-row sorted inserts; every row is sliced out of the arena with
+// its own capacity, so later AddEdge/RemoveNodeEdges calls behave like
+// independent slices. The edge set is exactly the all-pairs one and rows
+// are sorted, so the graph is independent of discovery order.
+//
+// Must be called on an edge-free graph (as the placement helpers do).
 func (g *Graph) ConnectUnitDisk(r float64) {
 	n := len(g.pos)
 	if n < 2 || r <= 0 {
 		return
 	}
-	type cell struct{ x, y int }
-	key := func(p Position) cell {
-		return cell{int(math.Floor(p.X / r)), int(math.Floor(p.Y / r))}
+	var w, h float64
+	for _, p := range g.pos {
+		if p.X > w {
+			w = p.X
+		}
+		if p.Y > h {
+			h = p.Y
+		}
 	}
-	buckets := make(map[cell][]NodeID, n)
+	// Cell side ≥ r keeps the 3×3 neighborhood sufficient; the floor keeps
+	// the cell count O(N) even when r is tiny relative to the area.
+	cs := r
+	if cells := (w/cs + 1) * (h/cs + 1); cells > float64(4*n+64) {
+		cs = math.Sqrt((w + 1) * (h + 1) / float64(4*n+64))
+		if cs < r {
+			cs = r
+		}
+	}
+	cols := int(w/cs) + 1
+	rows := int(h/cs) + 1
+	cellOf := make([]int32, n)
+	cellStart := make([]int32, cols*rows+1)
 	for i := 0; i < n; i++ {
-		c := key(g.pos[i])
-		buckets[c] = append(buckets[c], NodeID(i))
+		c := int32(int(g.pos[i].Y/cs)*cols + int(g.pos[i].X/cs))
+		cellOf[i] = c
+		cellStart[c+1]++
 	}
-	for a := 0; a < n; a++ {
-		pa := g.pos[a]
-		ca := key(pa)
-		for dx := -1; dx <= 1; dx++ {
+	for c := 1; c <= cols*rows; c++ {
+		cellStart[c] += cellStart[c-1]
+	}
+	cellNodes := make([]int32, n)
+	cursor := make([]int32, cols*rows)
+	for i := 0; i < n; i++ { // ascending i keeps each cell's list sorted
+		c := cellOf[i]
+		cellNodes[cellStart[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	// forEachPair visits every in-range pair (a, b) with a < b once.
+	forEachPair := func(visit func(a, b int32)) {
+		for a := 0; a < n; a++ {
+			pa := g.pos[a]
+			cx, cy := int(pa.X/cs), int(pa.Y/cs)
 			for dy := -1; dy <= 1; dy++ {
-				for _, b := range buckets[cell{ca.x + dx, ca.y + dy}] {
-					if int(b) <= a {
+				y := cy + dy
+				if y < 0 || y >= rows {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					x := cx + dx
+					if x < 0 || x >= cols {
 						continue
 					}
-					if pa.Dist(g.pos[b]) <= r && !g.HasEdge(NodeID(a), b) {
-						// Safe: bounds checked, no self-loop, no duplicate.
-						_ = g.AddEdge(NodeID(a), b)
+					c := y*cols + x
+					for _, b := range cellNodes[cellStart[c]:cellStart[c+1]] {
+						if int(b) > a && pa.Dist(g.pos[b]) <= r {
+							visit(int32(a), b)
+						}
 					}
 				}
 			}
 		}
+	}
+	deg := cursor // same length ≥ n is not guaranteed; reuse only if big enough
+	if len(deg) < n {
+		deg = make([]int32, n)
+	} else {
+		deg = deg[:n]
+		for i := range deg {
+			deg[i] = 0
+		}
+	}
+	forEachPair(func(a, b int32) {
+		deg[a]++
+		deg[b]++
+	})
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + deg[i]
+		deg[i] = 0 // becomes the fill cursor
+	}
+	arena := make([]NodeID, off[n])
+	forEachPair(func(a, b int32) {
+		arena[off[a]+deg[a]] = NodeID(b)
+		deg[a]++
+		arena[off[b]+deg[b]] = NodeID(a)
+		deg[b]++
+	})
+	for i := 0; i < n; i++ {
+		if off[i] == off[i+1] {
+			continue // isolated node: keep the nil row
+		}
+		row := arena[off[i]:off[i+1]:off[i+1]]
+		slices.Sort(row)
+		g.adj[i] = row
 	}
 }

@@ -2,36 +2,33 @@ package topology
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Tree is a rooted spanning tree over (a subset of) a Graph's nodes. It is
 // the communication structure DirQ maintains range tables over.
 //
-// Membership and parent pointers are mirrored into flat slices indexed by
-// NodeID: Contains and Parent sit on per-query hot paths (ground-truth
-// resolution walks parent chains for every probe of the workload's width
-// search), where a slice load beats a map lookup severalfold at large N.
+// All per-node state lives in flat slices indexed by NodeID: Contains,
+// Parent and Depth sit on per-query hot paths (ground-truth resolution
+// walks parent chains for every probe of the workload's width search),
+// where a slice load beats a map lookup severalfold at large N — and a
+// 100k-node build pays a handful of slice allocations instead of three
+// maps' worth of per-entry churn.
 type Tree struct {
-	root     NodeID
-	parent   map[NodeID]NodeID // absent for root and detached nodes
-	children map[NodeID][]NodeID
-	depth    map[NodeID]int
+	root  NodeID
+	count int // nodes currently attached (root included)
 
-	inTree    []bool   // membership mirror, grown on demand
-	parentArr []NodeID // parent mirror; -1 = root or detached
+	inTree    []bool     // membership, grown on demand
+	parentArr []NodeID   // parent; -1 = root or detached
+	depthArr  []int      // hop distance from root; -1 = detached
+	childArr  [][]NodeID // sorted child lists
 }
 
 // NewTree returns a tree containing only the root.
 func NewTree(root NodeID) *Tree {
-	t := &Tree{
-		root:     root,
-		parent:   map[NodeID]NodeID{},
-		children: map[NodeID][]NodeID{},
-		depth:    map[NodeID]int{root: 0},
-	}
+	t := &Tree{root: root, count: 1}
 	t.ensure(root)
 	t.inTree[root] = true
+	t.depthArr[root] = 0
 	return t
 }
 
@@ -40,6 +37,8 @@ func (t *Tree) ensure(id NodeID) {
 	for int(id) >= len(t.inTree) {
 		t.inTree = append(t.inTree, false)
 		t.parentArr = append(t.parentArr, -1)
+		t.depthArr = append(t.depthArr, -1)
+		t.childArr = append(t.childArr, nil)
 	}
 }
 
@@ -47,7 +46,7 @@ func (t *Tree) ensure(id NodeID) {
 func (t *Tree) Root() NodeID { return t.root }
 
 // Len returns the number of nodes currently in the tree (root included).
-func (t *Tree) Len() int { return len(t.depth) }
+func (t *Tree) Len() int { return t.count }
 
 // Contains reports whether id is attached to the tree.
 func (t *Tree) Contains(id NodeID) bool {
@@ -65,23 +64,27 @@ func (t *Tree) Parent(id NodeID) (NodeID, bool) {
 
 // Children returns the sorted child list of id. The slice must not be
 // modified by callers.
-func (t *Tree) Children(id NodeID) []NodeID { return t.children[id] }
+func (t *Tree) Children(id NodeID) []NodeID {
+	if id < 0 || int(id) >= len(t.childArr) {
+		return nil
+	}
+	return t.childArr[id]
+}
 
 // Depth returns the hop distance of id from the root; -1 if not in the tree.
 func (t *Tree) Depth(id NodeID) int {
-	d, ok := t.depth[id]
-	if !ok {
+	if id < 0 || int(id) >= len(t.depthArr) {
 		return -1
 	}
-	return d
+	return t.depthArr[id]
 }
 
 // MaxDepth returns the deepest level in the tree (root = 0).
 func (t *Tree) MaxDepth() int {
 	max := 0
-	for _, d := range t.depth {
-		if d > max {
-			max = d
+	for id, in := range t.inTree {
+		if in && t.depthArr[id] > max {
+			max = t.depthArr[id]
 		}
 	}
 	return max
@@ -96,12 +99,12 @@ func (t *Tree) Attach(parent, child NodeID) error {
 	if t.Contains(child) {
 		return fmt.Errorf("topology: node %d is already in the tree", child)
 	}
-	t.parent[child] = parent
-	t.children[parent] = insertSorted(t.children[parent], child)
-	t.depth[child] = t.depth[parent] + 1
 	t.ensure(child)
+	t.childArr[parent] = insertSorted(t.childArr[parent], child)
 	t.inTree[child] = true
 	t.parentArr[child] = parent
+	t.depthArr[child] = t.depthArr[parent] + 1
+	t.count++
 	return nil
 }
 
@@ -116,15 +119,15 @@ func (t *Tree) Detach(id NodeID) ([]NodeID, error) {
 		return nil, fmt.Errorf("topology: node %d is not in the tree", id)
 	}
 	removed := t.Subtree(id)
-	p := t.parent[id]
-	t.children[p] = removeSorted(t.children[p], id)
+	p := t.parentArr[id]
+	t.childArr[p] = removeSorted(t.childArr[p], id)
 	for _, n := range removed {
-		delete(t.parent, n)
-		delete(t.depth, n)
-		delete(t.children, n)
 		t.inTree[n] = false
 		t.parentArr[n] = -1
+		t.depthArr[n] = -1
+		t.childArr[n] = t.childArr[n][:0]
 	}
+	t.count -= len(removed)
 	return removed, nil
 }
 
@@ -132,7 +135,7 @@ func (t *Tree) Detach(id NodeID) ([]NodeID, error) {
 func (t *Tree) Subtree(id NodeID) []NodeID {
 	order := []NodeID{id}
 	for i := 0; i < len(order); i++ {
-		order = append(order, t.children[order[i]]...)
+		order = append(order, t.Children(order[i])...)
 	}
 	return order
 }
@@ -144,8 +147,8 @@ func (t *Tree) PathToRoot(id NodeID) []NodeID {
 	}
 	path := []NodeID{id}
 	for {
-		p, ok := t.parent[path[len(path)-1]]
-		if !ok {
+		p := t.parentArr[path[len(path)-1]]
+		if p < 0 {
 			return path
 		}
 		path = append(path, p)
@@ -154,23 +157,23 @@ func (t *Tree) PathToRoot(id NodeID) []NodeID {
 
 // Nodes returns all tree nodes in ascending ID order.
 func (t *Tree) Nodes() []NodeID {
-	out := make([]NodeID, 0, len(t.depth))
-	for id := range t.depth {
-		out = append(out, id)
+	out := make([]NodeID, 0, t.count)
+	for id, in := range t.inTree {
+		if in {
+			out = append(out, NodeID(id))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Leaves returns all leaf nodes in ascending ID order.
 func (t *Tree) Leaves() []NodeID {
 	var out []NodeID
-	for id := range t.depth {
-		if len(t.children[id]) == 0 {
-			out = append(out, id)
+	for id, in := range t.inTree {
+		if in && len(t.childArr[id]) == 0 {
+			out = append(out, NodeID(id))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -178,29 +181,33 @@ func (t *Tree) Leaves() []NodeID {
 // parent in the tree, depths are parent+1, child lists match parent
 // pointers, and there are no cycles.
 func (t *Tree) Validate() error {
-	for id, d := range t.depth {
+	for i, in := range t.inTree {
+		if !in {
+			continue
+		}
+		id := NodeID(i)
+		d := t.depthArr[id]
 		if id == t.root {
 			if d != 0 {
 				return fmt.Errorf("topology: root depth %d != 0", d)
 			}
-			if _, ok := t.parent[id]; ok {
+			if t.parentArr[id] >= 0 {
 				return fmt.Errorf("topology: root has a parent")
 			}
 			continue
 		}
-		p, ok := t.parent[id]
-		if !ok {
+		p := t.parentArr[id]
+		if p < 0 {
 			return fmt.Errorf("topology: node %d has no parent", id)
 		}
-		pd, ok := t.depth[p]
-		if !ok {
+		if !t.Contains(p) {
 			return fmt.Errorf("topology: node %d's parent %d is not in the tree", id, p)
 		}
-		if d != pd+1 {
-			return fmt.Errorf("topology: node %d depth %d != parent depth %d + 1", id, d, pd)
+		if d != t.depthArr[p]+1 {
+			return fmt.Errorf("topology: node %d depth %d != parent depth %d + 1", id, d, t.depthArr[p])
 		}
 		found := false
-		for _, c := range t.children[p] {
+		for _, c := range t.childArr[p] {
 			if c == id {
 				found = true
 				break
@@ -210,9 +217,9 @@ func (t *Tree) Validate() error {
 			return fmt.Errorf("topology: node %d missing from parent %d's child list", id, p)
 		}
 	}
-	// Cycle / reachability: BFS from root must reach exactly len(depth) nodes.
-	if got := len(t.Subtree(t.root)); got != len(t.depth) {
-		return fmt.Errorf("topology: %d nodes reachable from root, %d registered", got, len(t.depth))
+	// Cycle / reachability: BFS from root must reach exactly count nodes.
+	if got := len(t.Subtree(t.root)); got != t.count {
+		return fmt.Errorf("topology: %d nodes reachable from root, %d registered", got, t.count)
 	}
 	return nil
 }
@@ -230,6 +237,7 @@ func BuildSpanningTree(g *Graph, root NodeID, maxFanout, maxDepth int) (*Tree, e
 		return nil, fmt.Errorf("topology: depth cap %d < 1", maxDepth)
 	}
 	t := NewTree(root)
+	t.ensure(NodeID(g.Len() - 1))
 	frontier := []NodeID{root}
 	for len(frontier) > 0 {
 		var next []NodeID
@@ -238,7 +246,7 @@ func BuildSpanningTree(g *Graph, root NodeID, maxFanout, maxDepth int) (*Tree, e
 				continue
 			}
 			for _, nb := range g.Neighbors(p) {
-				if t.Contains(nb) || len(t.children[p]) >= maxFanout {
+				if t.Contains(nb) || len(t.childArr[p]) >= maxFanout {
 					continue
 				}
 				if err := t.Attach(p, nb); err != nil {
